@@ -1,0 +1,68 @@
+"""Figures 14-15: the regular optimizer's plan vs the DGJ plans.
+
+Figure 14 shows DB2/SQL Server evaluating SQL4 with hash joins plus a
+final sort — all topologies processed, top-k applied last.  Figure 15
+shows the DGJ alternatives (IDGJ stack; HDGJ mix).  We print both plan
+trees from our engine and assert their structural signatures."""
+
+from __future__ import annotations
+
+from repro.core import KeywordConstraint, TopologyQuery
+from repro.core.methods.et import FastTopKEtMethod
+from repro.core.methods.topk import FastTopKMethod
+from repro.relational.sql.parser import parse
+
+from benchmarks.common import built_system, emit
+
+
+QUERY = TopologyQuery(
+    "Protein",
+    "Interaction",
+    KeywordConstraint("DESC", "binding"),
+    KeywordConstraint("DESC", "direct"),
+    k=10,
+    ranking="freq",
+)
+
+
+def test_fig14_regular_plan_shape(benchmark):
+    system = built_system()
+    method = FastTopKMethod(system)
+    sql = method.unpruned_sql(QUERY)
+
+    def plan_it():
+        query = parse(sql)
+        plan, _ = system.engine.planner.plan(query)
+        return plan
+
+    plan = benchmark(plan_it)
+    text = plan.explain()
+    emit("fig14_regular_plan", "SQL4 under the regular optimizer:\n" + text)
+    # The Figure-14 signature: join-based plan with a final top-k sort,
+    # no early-termination operators.
+    assert "TopN" in text or "Sort" in text
+    assert "IDGJ" not in text and "HDGJ" not in text
+    assert "Join" in text
+
+
+def test_fig15_dgj_plan_shapes(benchmark):
+    system = built_system()
+
+    def build_stacks():
+        idgj = FastTopKEtMethod(system, flavor="idgj").build_stack(QUERY)
+        hdgj = FastTopKEtMethod(system, flavor="hdgj").build_stack(QUERY)
+        return idgj, hdgj
+
+    idgj, hdgj = benchmark(build_stacks)
+    idgj_text = idgj.explain()
+    hdgj_text = hdgj.explain()
+    emit(
+        "fig15_dgj_plans",
+        "Figure 15(a) IDGJ stack:\n" + idgj_text + "\n\n"
+        "Figure 15(b) HDGJ variant:\n" + hdgj_text,
+    )
+    # Both stacks sit on the score-ordered TopInfo scan.
+    assert "OrderedIndexScan(TopInfo" in idgj_text
+    assert idgj_text.count("IDGJ") == 3  # LeftTops + two entity levels
+    assert "HDGJ" in hdgj_text
+    assert "OrderedIndexScan(TopInfo" in hdgj_text

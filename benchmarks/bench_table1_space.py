@@ -1,0 +1,62 @@
+"""Table 1: space requirements of Full-Top (AllTops) vs Fast-Top
+(LeftTops + ExcpTops), per entity-set pair.
+
+The paper's ratios run from 0.1% to 6.8%; the synthetic data is far
+smaller and less skewed, so the asserted shape is: pruning reduces the
+stored rows substantially, and the exception table stays a small
+fraction of what was pruned away."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import TopologySearchSystem, apply_pruning, compute_alltops
+
+from benchmarks.common import FIG11_PAIRS, dataset, emit
+
+
+def test_table1_space_requirements(benchmark):
+    ds = dataset()
+
+    def offline_phase():
+        reports = {}
+        for es1, es2 in FIG11_PAIRS:
+            store, _ = compute_alltops(ds.graph(), [(es1, es2)], 3)
+            report = apply_pruning(store)
+            reports[(es1, es2)] = (store, report)
+        return reports
+
+    reports = benchmark.pedantic(offline_phase, iterations=1, rounds=1)
+
+    rows = []
+    total_all = total_kept = 0
+    for (es1, es2), (store, report) in reports.items():
+        ratio = report.space_ratio
+        rows.append(
+            [
+                es1,
+                es2,
+                report.alltops_rows,
+                report.lefttops_rows,
+                report.excptops_rows,
+                len(report.pruned_tids),
+                f"{100 * ratio:.1f}%",
+            ]
+        )
+        total_all += report.alltops_rows
+        total_kept += report.lefttops_rows + report.excptops_rows
+    emit(
+        "table1_space",
+        render_table(
+            ["object", "object", "AllTops", "LeftTops", "ExcpTops", "pruned", "ratio"],
+            rows,
+            title="Table 1: space requirement (rows) per entity-set pair",
+        ),
+    )
+
+    # Shape: pruning must help overall, and exceptions must not erase
+    # the savings.
+    assert total_kept < total_all
+    for (_, _), (store, report) in reports.items():
+        if report.pruned_tids:
+            removed = report.alltops_rows - report.lefttops_rows
+            assert report.excptops_rows <= removed

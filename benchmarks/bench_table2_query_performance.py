@@ -1,0 +1,140 @@
+"""Table 2: performance of all nine strategies across predicate
+selectivities (selective/medium/unselective on Protein and Interaction)
+and the three ranking schemes.
+
+Shape claims asserted (the paper's findings, Section 6.2.2):
+
+* the SQL method is slower than every precomputed method by a large
+  factor,
+* the ET methods do the least engine work for unselective predicates
+  with small k,
+* the Opt methods track (approximately) the better of their regular and
+  ET variants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.analysis import render_table
+from repro.biozon import INTERACTION_KEYWORDS, PROTEIN_KEYWORDS
+from repro.core import KeywordConstraint, TopologyQuery
+
+from benchmarks.common import built_system, emit
+
+SELECTIVITY_LABELS = ("selective", "medium", "unselective")
+RANKINGS = ("freq", "domain", "rare")
+FAST_METHODS = (
+    "full-top",
+    "fast-top",
+    "full-top-k",
+    "fast-top-k",
+    "full-top-k-et",
+    "fast-top-k-et",
+    "full-top-k-opt",
+    "fast-top-k-opt",
+)
+
+
+def _query(p_idx: int, i_idx: int, ranking: str, k=10) -> TopologyQuery:
+    p_kw, _ = PROTEIN_KEYWORDS[p_idx]
+    i_kw, _ = INTERACTION_KEYWORDS[i_idx]
+    return TopologyQuery(
+        "Protein",
+        "Interaction",
+        KeywordConstraint("DESC", p_kw),
+        KeywordConstraint("DESC", i_kw),
+        k=k,
+        ranking=ranking,
+    )
+
+
+def test_table2_full_sweep(benchmark):
+    system = built_system()
+    cells: Dict[Tuple[str, str, str, str], Tuple[float, int]] = {}
+
+    def sweep():
+        for p_idx, p_label in enumerate(SELECTIVITY_LABELS):
+            for i_idx, i_label in enumerate(SELECTIVITY_LABELS):
+                for ranking in RANKINGS:
+                    reference = None
+                    for method in FAST_METHODS:
+                        query = _query(p_idx, i_idx, ranking)
+                        if method in ("full-top", "fast-top"):
+                            query = TopologyQuery(
+                                query.entity1, query.entity2,
+                                query.constraint1, query.constraint2,
+                            )
+                        result = system.search(query, method)
+                        cells[(p_label, i_label, ranking, method)] = (
+                            result.elapsed_seconds * 1000,
+                            result.work["rows_scanned"]
+                            + result.work["index_probes"],
+                        )
+                        if method == "full-top-k":
+                            reference = result.tids
+                        elif query.k is not None and reference is not None:
+                            assert result.tids == reference, (method, p_label, i_label)
+        return cells
+
+    benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    rows: List[List[object]] = []
+    for p_label in SELECTIVITY_LABELS:
+        for i_label in SELECTIVITY_LABELS:
+            for method in FAST_METHODS:
+                per_ranking = [
+                    f"{cells[(p_label, i_label, r, method)][0]:.1f}" for r in RANKINGS
+                ]
+                rows.append([p_label, i_label, method] + per_ranking)
+    emit(
+        "table2_query_performance",
+        render_table(
+            ["protein", "interaction", "method", "freq ms", "domain ms", "rare ms"],
+            rows,
+            title="Table 2: query times (ms) - 8 precomputed strategies, top-10",
+        ),
+    )
+
+    # Shape claim: for unselective predicates the ET variant touches
+    # fewer rows+probes than the regular top-k variant.
+    et_work = cells[("unselective", "unselective", "freq", "fast-top-k-et")][1]
+    reg_work = cells[("unselective", "unselective", "freq", "fast-top-k")][1]
+    assert et_work <= reg_work
+
+
+def test_table2_sql_method_is_slowest(benchmark):
+    """One Table-2 cell for the SQL method (selective/selective): it is
+    orders of magnitude slower than Full-Top on the same query."""
+    system = built_system()
+    query = TopologyQuery(
+        "Protein",
+        "Interaction",
+        KeywordConstraint("DESC", PROTEIN_KEYWORDS[0][0]),
+        KeywordConstraint("DESC", INTERACTION_KEYWORDS[0][0]),
+    )
+    full = system.search(query, "full-top")
+
+    result_holder = {}
+
+    def run_sql():
+        result_holder["result"] = system.search(query, "sql")
+
+    benchmark.pedantic(run_sql, iterations=1, rounds=1)
+    sql_result = result_holder["result"]
+    assert sql_result.tids == full.tids
+    slowdown = sql_result.elapsed_seconds / max(full.elapsed_seconds, 1e-9)
+    emit(
+        "table2_sql_method",
+        render_table(
+            ["method", "time ms"],
+            [
+                ["sql", f"{sql_result.elapsed_seconds * 1000:.0f}"],
+                ["full-top", f"{full.elapsed_seconds * 1000:.1f}"],
+                ["slowdown", f"{slowdown:.0f}x"],
+            ],
+            title="Table 2 (SQL row): SQL method vs Full-Top, selective/selective",
+        ),
+    )
+    assert slowdown > 10

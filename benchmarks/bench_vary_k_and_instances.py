@@ -1,0 +1,89 @@
+"""Section 6.2.4: varying k, and instance-retrieval cost by frequency.
+
+Paper shape: slight degradation with increasing k for the top-k
+methods; instance retrieval time grows with topology frequency
+(1-50 s on Biozon, milliseconds here)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import render_table
+from repro.core import InstanceRetriever, KeywordConstraint, NoConstraint, TopologyQuery
+
+from benchmarks.common import built_system, emit
+
+K_VALUES = (1, 5, 10, 25, 50)
+
+
+def test_vary_k(benchmark):
+    system = built_system()
+
+    def sweep():
+        rows = []
+        for k in K_VALUES:
+            query = TopologyQuery(
+                "Protein", "DNA",
+                KeywordConstraint("DESC", "human"),
+                NoConstraint(),
+                k=k, ranking="rare",
+            )
+            et = system.search(query, "fast-top-k-et")
+            reg = system.search(query, "fast-top-k")
+            assert et.tids == reg.tids
+            rows.append(
+                [
+                    k,
+                    f"{et.elapsed_seconds * 1000:.1f}",
+                    et.work["index_probes"],
+                    f"{reg.elapsed_seconds * 1000:.1f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    emit(
+        "vary_k",
+        render_table(
+            ["k", "fast-top-k-et ms", "et probes", "fast-top-k ms"],
+            rows,
+            title="Section 6.2.4: effect of k",
+        ),
+    )
+    # ET work is monotone non-decreasing in k.
+    probes = [r[2] for r in rows]
+    assert probes == sorted(probes)
+
+
+def test_instance_retrieval_by_frequency(benchmark):
+    system = built_system()
+    store = system.require_store()
+    retriever = InstanceRetriever(system)
+    tops = sorted(
+        store.topologies_for_entity_pair("Protein", "DNA"),
+        key=lambda t: -t.frequency,
+    )
+    sample = [tops[0], tops[len(tops) // 2], tops[-1]]
+
+    def retrieve_all():
+        rows = []
+        for t in sample:
+            start = time.perf_counter()
+            instances = retriever.instances(t.tid, limit=200, per_pair_limit=4)
+            elapsed = (time.perf_counter() - start) * 1000
+            rows.append([t.tid, t.frequency, len(instances), f"{elapsed:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(retrieve_all, iterations=1, rounds=1)
+    emit(
+        "instance_retrieval",
+        render_table(
+            ["tid", "frequency", "instances", "ms"],
+            rows,
+            title="Section 6.2.4: instance retrieval vs topology frequency",
+        ),
+    )
+    # More frequent topologies yield at least as many instances.
+    assert rows[0][2] >= rows[-1][2]
+    for row in rows:
+        assert row[2] >= 1

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Each harness regenerates one paper table/figure.  Rendered output goes
+both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so the teed benchmark run leaves the
+reproduced tables on disk.
+
+Scale: ``REPRO_BENCH_SCALE`` ∈ {tiny, small, medium} (default small)
+controls the synthetic dataset size.  All claims checked here are shape
+claims (who wins, what distribution looks like), never absolute times.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.biozon import BiozonConfig, generate
+from repro.core import TopologySearchSystem
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Figure 11's four curves: PD, DU, PI, PU.
+FIG11_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("Protein", "DNA"),
+    ("DNA", "Unigene"),
+    ("Protein", "Interaction"),
+    ("Protein", "Unigene"),
+)
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("tiny", "small", "medium"):
+        raise ValueError(f"bad REPRO_BENCH_SCALE {scale!r}")
+    return scale
+
+
+def bench_config(seed: int = 7) -> BiozonConfig:
+    return getattr(BiozonConfig, bench_scale())(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def dataset(seed: int = 7):
+    return generate(bench_config(seed))
+
+
+@lru_cache(maxsize=4)
+def built_system(
+    pairs: Tuple[Tuple[str, str], ...] = (("Protein", "DNA"), ("Protein", "Interaction")),
+    max_length: int = 3,
+    seed: int = 7,
+) -> TopologySearchSystem:
+    ds = dataset(seed)
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build(list(pairs), max_length=max_length)
+    return system
+
+
+def emit(name: str, text: str) -> None:
+    """Print a harness's rendered output and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

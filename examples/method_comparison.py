@@ -1,0 +1,89 @@
+"""Compare all nine query-processing methods on one workload.
+
+Reproduces the texture of the paper's Table 2 interactively: run the
+same top-k topology query through every method, verify they agree, and
+report wall time plus engine work counters (rows scanned, index probes,
+groups skipped).  Also shows what the cost-based optimizer chose and
+why (Section 5.4).
+
+Run:  python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.biozon import BiozonConfig, generate
+from repro.core import (
+    KeywordConstraint,
+    TopologyQuery,
+    TopologySearchSystem,
+)
+from repro.core.methods import ALL_METHOD_NAMES
+
+
+def main() -> None:
+    ds = generate(BiozonConfig.small(seed=7))
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build([("Protein", "Interaction")], max_length=3)
+    store = system.require_store()
+    print(
+        f"Store: {len(store.topologies)} topologies, "
+        f"{len(store.pruned_tids)} pruned, "
+        f"{len(store.excptops_rows)} exception rows\n"
+    )
+
+    query = TopologyQuery(
+        "Protein",
+        "Interaction",
+        KeywordConstraint("DESC", "binding"),   # ~50% of proteins
+        KeywordConstraint("DESC", "direct"),    # ~50% of interactions
+        k=10,
+        ranking="rare",
+    )
+    print(f"Query: {query.describe()}\n")
+
+    rows = []
+    reference = None
+    for name in ALL_METHOD_NAMES:
+        q = query
+        if name in ("sql", "full-top", "fast-top"):
+            # Exhaustive methods take the query without k.
+            q = TopologyQuery(
+                query.entity1, query.entity2,
+                query.constraint1, query.constraint2,
+            )
+        result = system.search(q, name)
+        if q.k is not None:
+            if reference is None:
+                reference = result.tids
+            assert result.tids == reference, f"{name} disagrees!"
+        rows.append(
+            [
+                name,
+                f"{result.elapsed_seconds * 1000:.1f}",
+                result.work["rows_scanned"],
+                result.work["index_probes"],
+                result.work["groups_skipped"],
+                len(result.tids),
+                (result.plan_choice or "")[:40],
+            ]
+        )
+
+    print(
+        render_table(
+            ["method", "ms", "rows", "probes", "skips", "results", "plan choice"],
+            rows,
+            title="All nine methods, one query (top-k methods must agree)",
+        )
+    )
+    print(
+        "\nReading guide: the SQL method pays for per-topology existence\n"
+        "queries; Full-Top scans the big AllTops table; Fast-Top adds\n"
+        "online pruned checks; the ET variants skip work via DGJ\n"
+        "operators; the Opt variants pick a side using the Theorem-1\n"
+        "cost model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Discovering the Figure-16 motif: operon self-regulation systems.
+
+Section 6.2.1 describes the payoff of topology search: a biologist
+browsing Domain-ranked topologies found a subgraph of "two proteins
+that are encoded by the same DNA sequence, and also interact with each
+other" — the signature of operons and viral genomes whose products are
+co-regulated.
+
+This example generates a synthetic Biozon-style database with planted
+operon systems, runs an *unconstrained* Protein-DNA topology query
+ranked by the Domain scheme, and shows that the operon motif surfaces
+near the top — then retrieves its concrete instances and checks them
+against the generator's ground truth.
+
+Run:  python examples/operon_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.biozon import BiozonConfig, generate
+from repro.core import (
+    InstanceRetriever,
+    NoConstraint,
+    TopologyQuery,
+    TopologySearchSystem,
+)
+
+
+def main() -> None:
+    # A mid-sized synthetic database with planted operon systems.
+    ds = generate(BiozonConfig.small(seed=21))
+    print(
+        f"Synthetic Biozon: {ds.graph().node_count} entities, "
+        f"{ds.graph().edge_count} relationships, "
+        f"{len(ds.truth.operons)} planted operon systems\n"
+    )
+
+    system = TopologySearchSystem(ds.database, ds.graph())
+    report = system.build([("Protein", "DNA")], max_length=3)
+    print(
+        f"Offline phase: {report.alltops.distinct_topologies} topologies "
+        f"in {report.elapsed_seconds:.2f}s\n"
+    )
+
+    # Ask the open question: "how are proteins related to DNAs?"
+    # ranked by biological interest.
+    query = TopologyQuery(
+        "Protein", "DNA", NoConstraint(), NoConstraint(), k=10, ranking="domain"
+    )
+    result = system.search(query, "fast-top-k-opt")
+    print("Top-10 topologies by Domain score:")
+    cyclic = []
+    for rank, (tid, score) in enumerate(result.ranked, start=1):
+        topology = system.topology(tid)
+        has_cycle = topology.num_edges >= topology.num_nodes
+        has_interaction = any(
+            etype.startswith("interacts") for _, _, etype in topology.form[1]
+        )
+        marker = " <-- feedback motif" if has_cycle and has_interaction else ""
+        if has_cycle and has_interaction:
+            cyclic.append(tid)
+        print(
+            f"  #{rank:<2} T{tid:<4} score={score:.3f} "
+            f"classes={topology.num_classes} "
+            f"nodes={topology.num_nodes}{marker}"
+        )
+
+    if not cyclic:
+        print("\nNo feedback motif in the top 10 on this seed.")
+        return
+
+    # Drill into the best feedback motif: its instances should be the
+    # planted operons.
+    motif = cyclic[0]
+    print(f"\nStructure of T{motif}:")
+    print(f"  {system.topology(motif).display()}")
+
+    retriever = InstanceRetriever(system)
+    instances = retriever.instances(motif, limit=20, per_pair_limit=2)
+    planted_dnas = {o.dna_id for o in ds.truth.operons}
+    hits = 0
+    print(f"\nInstances of T{motif} ({len(instances)} shown):")
+    for inst in instances:
+        entities = set(inst.entities())
+        overlap = entities & planted_dnas
+        if overlap:
+            hits += 1
+        print(
+            f"  pair ({inst.e1}, {inst.e2}) entities={sorted(map(str, entities))}"
+            + ("   [planted operon]" if overlap else "")
+        )
+    print(
+        f"\n{hits}/{len(instances)} instances coincide with planted operon "
+        f"systems — the motif the paper's biologist flagged as worth "
+        f"further investigation."
+    )
+
+
+if __name__ == "__main__":
+    main()

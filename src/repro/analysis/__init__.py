@@ -1,0 +1,22 @@
+"""Analysis helpers: frequency distributions, Zipf fits, and table/plot
+rendering for the benchmark harnesses."""
+
+from repro.analysis.frequency import (
+    ZipfFit,
+    fit_zipf,
+    frequency_table,
+    head_mass,
+    rank_frequency,
+)
+from repro.analysis.reporting import render_ascii_loglog, render_series, render_table
+
+__all__ = [
+    "ZipfFit",
+    "fit_zipf",
+    "frequency_table",
+    "head_mass",
+    "rank_frequency",
+    "render_ascii_loglog",
+    "render_series",
+    "render_table",
+]

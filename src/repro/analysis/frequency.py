@@ -1,0 +1,87 @@
+"""Topology frequency analysis (Section 4.2.1, Figure 11).
+
+The paper observes that topology frequency is approximately Zipfian for
+every entity-set pair: ranked by frequency, ``freq(rank) ~ C / rank^s``.
+This module computes rank-frequency series from a store and fits the
+Zipf exponent by least squares in log-log space, so benches can verify
+the synthetic data reproduces the shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.store import TopologyStore
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares fit of log(freq) = log(c) - s * log(rank)."""
+
+    exponent: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    @property
+    def is_zipf_like(self) -> bool:
+        """Heuristic for "approximately Zipfian": clearly decreasing
+        with a decent log-log linear fit."""
+        return self.exponent > 0.5 and self.r_squared > 0.6 and self.n_points >= 4
+
+
+def rank_frequency(frequencies: Sequence[int]) -> List[Tuple[int, int]]:
+    """(rank, frequency) pairs, frequency descending, rank from 1."""
+    ordered = sorted((f for f in frequencies if f > 0), reverse=True)
+    return [(i + 1, f) for i, f in enumerate(ordered)]
+
+
+def fit_zipf(frequencies: Sequence[int]) -> ZipfFit:
+    """Fit a Zipf law to a frequency list (must have >= 2 positive
+    entries; degenerate inputs return a zero fit)."""
+    points = rank_frequency(frequencies)
+    if len(points) < 2:
+        return ZipfFit(0.0, 0.0, 0.0, len(points))
+    xs = [math.log(rank) for rank, _ in points]
+    ys = [math.log(freq) for _, freq in points]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return ZipfFit(0.0, mean_y, 0.0, n)
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 - (ss_res / ss_tot) if ss_tot > 0 else 1.0
+    return ZipfFit(exponent=-slope, intercept=intercept, r_squared=r_squared, n_points=n)
+
+
+def head_mass(frequencies: Sequence[int], head: int = 5) -> float:
+    """Fraction of all pair-topology rows contributed by the ``head``
+    most frequent topologies — the quantity pruning exploits."""
+    ordered = sorted((f for f in frequencies if f > 0), reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    return sum(ordered[:head]) / total
+
+
+def frequency_table(
+    store: TopologyStore, entity_pairs: Sequence[Tuple[str, str]]
+) -> Dict[str, List[int]]:
+    """Figure-11 series: descending frequency list per entity-set pair,
+    keyed by a short label like ``PD``."""
+    from repro.biozon.schema import TYPE_LETTERS
+
+    out: Dict[str, List[int]] = {}
+    for es1, es2 in entity_pairs:
+        label = TYPE_LETTERS.get(es1, es1[0]) + TYPE_LETTERS.get(es2, es2[0])
+        out[label] = store.frequency_distribution(es1, es2)
+    return out

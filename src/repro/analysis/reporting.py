@@ -1,0 +1,79 @@
+"""Plain-text rendering for benchmark output (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule, like the paper's tables."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, values: Sequence[float], max_points: int = 20
+) -> str:
+    """One figure series as ``label: v1 v2 v3 ...`` (down-sampled)."""
+    if len(values) > max_points:
+        step = len(values) / max_points
+        sampled = [values[int(i * step)] for i in range(max_points)]
+    else:
+        sampled = list(values)
+    return f"{label}: " + " ".join(_fmt(v) for v in sampled)
+
+
+def render_ascii_loglog(
+    series: Dict[str, Sequence[int]], width: int = 60, height: int = 16
+) -> str:
+    """Crude log-log scatter of rank-frequency series (Figure 11's
+    visual), one symbol per series."""
+    import math
+
+    symbols = "o*x+#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    max_rank = max((len(v) for v in series.values()), default=1)
+    max_freq = max((v[0] for v in series.values() if v), default=1)
+    if max_rank < 2 or max_freq < 2:
+        return "(not enough data to plot)"
+    for idx, (label, values) in enumerate(sorted(series.items())):
+        sym = symbols[idx % len(symbols)]
+        for rank, freq in enumerate(values, start=1):
+            if freq <= 0:
+                continue
+            x = int((math.log(rank) / math.log(max_rank + 1)) * (width - 1))
+            y = int((math.log(freq) / math.log(max_freq + 1)) * (height - 1))
+            grid[height - 1 - y][x] = sym
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={label}" for i, label in enumerate(sorted(series))
+    )
+    body = "\n".join("|" + "".join(row) for row in grid)
+    axis = "+" + "-" * width
+    return f"{body}\n{axis}\n  log(rank) ->   ({legend})"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

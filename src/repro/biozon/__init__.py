@@ -1,0 +1,50 @@
+"""Biozon substrate: schema (Figure 1), the Figure-3 fixture, the
+synthetic data generator, and the relational->graph mapping."""
+
+from repro.biozon.figure3 import (
+    Q1_DNA_TYPE,
+    Q1_EXPECTED_DNAS,
+    Q1_EXPECTED_PROTEINS,
+    Q1_PROTEIN_KEYWORD,
+    build_figure3_database,
+)
+from repro.biozon.generator import (
+    INTERACTION_KEYWORDS,
+    PROTEIN_KEYWORDS,
+    BiozonConfig,
+    BiozonDataset,
+    OperonSystem,
+    PlantedTruth,
+    generate,
+)
+from repro.biozon.schema import (
+    ENTITY_TYPES,
+    RELATIONSHIPS,
+    TYPE_LETTERS,
+    RelationshipSpec,
+    biozon_schema_graph,
+    build_empty_database,
+    database_to_graph,
+)
+
+__all__ = [
+    "BiozonConfig",
+    "BiozonDataset",
+    "ENTITY_TYPES",
+    "INTERACTION_KEYWORDS",
+    "OperonSystem",
+    "PROTEIN_KEYWORDS",
+    "PlantedTruth",
+    "Q1_DNA_TYPE",
+    "Q1_EXPECTED_DNAS",
+    "Q1_EXPECTED_PROTEINS",
+    "Q1_PROTEIN_KEYWORD",
+    "RELATIONSHIPS",
+    "RelationshipSpec",
+    "TYPE_LETTERS",
+    "biozon_schema_graph",
+    "build_empty_database",
+    "build_figure3_database",
+    "database_to_graph",
+    "generate",
+]

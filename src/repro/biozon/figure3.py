@@ -1,0 +1,78 @@
+"""The paper's running example database (Figure 3 / Figure 6).
+
+Edge ids and endpoints are reconstructed from Figures 3, 4 and 6 of the
+paper; the derived results are pinned in tests:
+
+* ``PS(78, 215, 3) = {l2, l3, l6}``; l2/l3 share an equivalence class,
+* ``3-Top(78, 215) = {T3, T4}``; ``3-Top(32, 214) = {T1}``;
+  ``3-Top(44, 742) = {T2}``,
+* query Q1 = (Protein ~ 'enzyme', DNA type 'mRNA') selects proteins
+  {32, 78, 44} (not 34) and all three DNAs.
+"""
+
+from __future__ import annotations
+
+from repro.biozon.schema import build_empty_database
+from repro.relational.database import Database
+
+PROTEINS = [
+    (32, "Ubiquitin-conjugating enzyme UBCi"),
+    (78, "Ubiquitin-conjugating enzyme variant MMS2"),
+    (34, "vitamin D inducible protein [Homo sapiens]"),
+    (44, "ubiquitin-conjugating enzyme E2B (homolog)"),
+]
+
+UNIGENES = [
+    (103, "ubiquitin-conjugating enzyme E2"),
+    (150, "hypothetical protein FLJ13855"),
+    (188, "ubiquitin-conjugating enzyme E2S"),
+    (194, "ubiquitin-conjugating enzyme E2S"),
+]
+
+DNAS = [
+    (214, "mRNA", "Oryctolagus cuniculus ubiquitin-conjugating enzyme UBCi mRNA"),
+    (215, "mRNA", "Homo sapiens MMS2 (MMS2) mRNA, complete cds."),
+    (742, "mRNA", "Human ubiquitin carrier protein (E2-EPF) mRNA, complete cds"),
+]
+
+# (edge id, PID, DID)
+ENCODES = [
+    (57, 32, 214),
+    (44, 34, 215),
+]
+
+# (edge id, UID, PID)
+UNI_ENCODES = [
+    (25, 103, 78),
+    (14, 103, 34),
+    (31, 150, 78),
+    (42, 188, 44),
+    (11, 194, 44),
+]
+
+# (edge id, UID, DID)
+UNI_CONTAINS = [
+    (62, 103, 215),
+    (93, 150, 215),
+    (121, 188, 742),
+    (37, 194, 742),
+]
+
+# Q1 from Example 2.1: proteins whose description contains 'enzyme',
+# DNAs of type 'mRNA'.
+Q1_PROTEIN_KEYWORD = "enzyme"
+Q1_DNA_TYPE = "mRNA"
+Q1_EXPECTED_PROTEINS = {32, 78, 44}
+Q1_EXPECTED_DNAS = {214, 215, 742}
+
+
+def build_figure3_database() -> Database:
+    """The exact Figure-3 instance loaded into the Biozon schema."""
+    db = build_empty_database("biozon-figure3")
+    db.table("Protein").bulk_load(PROTEINS)
+    db.table("Unigene").bulk_load(UNIGENES)
+    db.table("DNA").bulk_load(DNAS)
+    db.table("Encodes").bulk_load(ENCODES)
+    db.table("UniEncodes").bulk_load(UNI_ENCODES)
+    db.table("UniContains").bulk_load(UNI_CONTAINS)
+    return db

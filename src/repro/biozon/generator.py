@@ -1,0 +1,399 @@
+"""Synthetic Biozon-style database generator.
+
+The paper evaluates on the real Biozon integration (GenBank + SwissProt
++ ...), which is not redistributable.  This generator produces a
+database with the *statistical properties the experiments rely on*:
+
+* **Zipf-skewed topology frequencies** (Figure 11): most entity pairs
+  are related by one simple path; few pairs participate in complex
+  multi-class relationships.  This emerges from the mostly-1:1
+  ``encodes`` backbone plus sparse unigene/interaction overlays.
+* **Rare complex motifs** (Figure 16): operon-like DNAs encode several
+  proteins, and some of those protein pairs also interact — planted and
+  recorded so benches can verify they are discovered.
+* **Weak-path regions** (Section 6.2.3): unigene clusters also contain
+  unrelated EST DNA sequences, creating the ``P-D-P-U-D`` style paths
+  that dilute topologies at l ≥ 4.
+* **Controlled predicate selectivities** (Table 2): keywords are planted
+  in Protein and Interaction descriptions at ~15% / ~50% / ~85% rates
+  (the paper's selective / medium / unselective knobs); achieved
+  fractions are recorded in :class:`PlantedTruth`.
+
+Everything is driven by one ``random.Random(seed)`` so datasets are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.biozon.schema import build_empty_database, database_to_graph
+from repro.errors import GeneratorError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.relational.database import Database
+
+# The three selectivity tiers used by the Table-2 experiments.
+PROTEIN_KEYWORDS: Tuple[Tuple[str, float], ...] = (
+    ("kinase", 0.15),
+    ("binding", 0.50),
+    ("human", 0.85),
+)
+INTERACTION_KEYWORDS: Tuple[Tuple[str, float], ...] = (
+    ("physical", 0.15),
+    ("direct", 0.50),
+    ("experimental", 0.85),
+)
+
+_FILLER_WORDS = (
+    "putative", "conserved", "hypothetical", "transferase", "receptor",
+    "membrane", "nuclear", "mitochondrial", "ribosomal", "regulatory",
+    "transcription", "factor", "subunit", "domain", "homolog", "precursor",
+    "chain", "ligase", "synthase", "reductase", "carrier", "channel",
+)
+
+_DNA_TYPES: Tuple[Tuple[str, float], ...] = (
+    ("mRNA", 0.60),
+    ("genomic", 0.15),
+    ("EST", 0.25),
+)
+
+
+@dataclass
+class BiozonConfig:
+    """Size and shape knobs for one synthetic dataset."""
+
+    seed: int = 7
+    n_proteins: int = 300
+    n_dnas: Optional[int] = None          # default: 1.1 * proteins
+    n_unigenes: Optional[int] = None      # default: 0.5 * proteins
+    n_interactions: Optional[int] = None  # default: 0.4 * proteins
+    n_families: Optional[int] = None      # default: proteins / 20
+    n_pathways: Optional[int] = None      # default: families / 4
+    n_structures: Optional[int] = None    # default: proteins / 5
+
+    operon_fraction: float = 0.06         # genomic DNAs encoding 2-4 proteins
+    operon_interaction_prob: float = 0.6  # plant the Figure-16 motif
+    multi_encoded_fraction: float = 0.08  # proteins encoded by a 2nd DNA
+    tf_binding_fraction: float = 0.2      # interactions that bind a DNA
+    self_regulation_prob: float = 0.3     # TF binds a DNA encoding itself
+    unigene_alignment_prob: float = 0.8   # unigene contains its protein's DNA
+    est_extra_prob: float = 0.35          # unigene contains unrelated ESTs
+    family_membership_prob: float = 0.6
+    second_family_prob: float = 0.1
+    structure_prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_proteins < 4:
+            raise GeneratorError("need at least 4 proteins")
+        if self.n_dnas is None:
+            self.n_dnas = max(4, int(self.n_proteins * 1.1))
+        if self.n_unigenes is None:
+            self.n_unigenes = max(2, self.n_proteins // 2)
+        if self.n_interactions is None:
+            self.n_interactions = max(2, int(self.n_proteins * 0.4))
+        if self.n_families is None:
+            self.n_families = max(2, self.n_proteins // 20)
+        if self.n_pathways is None:
+            self.n_pathways = max(2, self.n_families // 4)
+        if self.n_structures is None:
+            self.n_structures = max(2, self.n_proteins // 5)
+
+    # -- Presets -----------------------------------------------------------
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "BiozonConfig":
+        """~100 entities; unit-test scale."""
+        return cls(seed=seed, n_proteins=40)
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "BiozonConfig":
+        """~1k entities; integration-test scale."""
+        return cls(seed=seed, n_proteins=400)
+
+    @classmethod
+    def medium(cls, seed: int = 7) -> "BiozonConfig":
+        """~8k entities; the default benchmark scale."""
+        return cls(seed=seed, n_proteins=3000)
+
+    @classmethod
+    def large(cls, seed: int = 7) -> "BiozonConfig":
+        """~30k entities; stress scale."""
+        return cls(seed=seed, n_proteins=12000)
+
+
+@dataclass(frozen=True)
+class OperonSystem:
+    """A planted Figure-16 motif: one DNA encoding several proteins, two
+    of which interact."""
+
+    dna_id: int
+    protein_ids: Tuple[int, ...]
+    interacting_pair: Tuple[int, int]
+    interaction_id: int
+
+
+@dataclass
+class PlantedTruth:
+    """Ground truth recorded during generation (for tests/benches)."""
+
+    protein_keyword_fractions: Dict[str, float] = field(default_factory=dict)
+    interaction_keyword_fractions: Dict[str, float] = field(default_factory=dict)
+    operons: List[OperonSystem] = field(default_factory=list)
+    self_regulating: List[Tuple[int, int, int]] = field(default_factory=list)
+    # ^ (protein, dna, interaction): protein encoded by dna and binding it
+    est_dna_ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class BiozonDataset:
+    """A generated database plus its ground truth."""
+
+    database: Database
+    truth: PlantedTruth
+    config: BiozonConfig
+    _graph: Optional[LabeledGraph] = None
+
+    def graph(self) -> LabeledGraph:
+        """The data graph (cached)."""
+        if self._graph is None:
+            self._graph = database_to_graph(self.database)
+        return self._graph
+
+
+def _zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+
+
+def _desc(rng: random.Random, plan: Sequence[Tuple[str, bool]]) -> str:
+    words = list(rng.sample(_FILLER_WORDS, k=rng.randint(3, 6)))
+    for keyword, include in plan:
+        if include:
+            words.insert(rng.randrange(len(words) + 1), keyword)
+    return " ".join(words)
+
+
+def generate(config: Optional[BiozonConfig] = None) -> BiozonDataset:
+    """Generate a full synthetic Biozon instance."""
+    config = config or BiozonConfig()
+    rng = random.Random(config.seed)
+    db = build_empty_database(f"biozon-synthetic-{config.seed}")
+    truth = PlantedTruth()
+
+    next_id = [1000]
+
+    def fresh_id() -> int:
+        next_id[0] += 1
+        return next_id[0]
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    protein_ids = [fresh_id() for _ in range(config.n_proteins)]
+    protein_rows = []
+    keyword_hits = {k: 0 for k, _ in PROTEIN_KEYWORDS}
+    for pid in protein_ids:
+        plan = []
+        for keyword, fraction in PROTEIN_KEYWORDS:
+            include = rng.random() < fraction
+            keyword_hits[keyword] += int(include)
+            plan.append((keyword, include))
+        protein_rows.append((pid, _desc(rng, plan)))
+    for keyword, hits in keyword_hits.items():
+        truth.protein_keyword_fractions[keyword] = hits / config.n_proteins
+
+    dna_ids = [fresh_id() for _ in range(config.n_dnas)]
+    dna_rows = []
+    dna_types: Dict[int, str] = {}
+    for did in dna_ids:
+        r = rng.random()
+        acc = 0.0
+        dna_type = _DNA_TYPES[-1][0]
+        for name, fraction in _DNA_TYPES:
+            acc += fraction
+            if r < acc:
+                dna_type = name
+                break
+        dna_types[did] = dna_type
+        if dna_type == "EST":
+            truth.est_dna_ids.append(did)
+        dna_rows.append((did, dna_type, _desc(rng, [])))
+
+    unigene_ids = [fresh_id() for _ in range(config.n_unigenes)]
+    unigene_rows = [(uid, _desc(rng, [])) for uid in unigene_ids]
+
+    family_ids = [fresh_id() for _ in range(config.n_families)]
+    family_rows = [(fid, f"family {fid}") for fid in family_ids]
+
+    pathway_ids = [fresh_id() for _ in range(config.n_pathways)]
+    pathway_rows = [(wid, f"pathway {wid}") for wid in pathway_ids]
+
+    structure_ids = [fresh_id() for _ in range(config.n_structures)]
+    structure_rows = [
+        (sid, rng.choice(("x-ray", "nmr", "model")), f"structure {sid}")
+        for sid in structure_ids
+    ]
+
+    # ------------------------------------------------------------------
+    # encodes: mostly 1:1 backbone + operon DNAs + multi-encoded proteins
+    # ------------------------------------------------------------------
+    encodes_rows: List[Tuple[int, int, int]] = []
+    dna_proteins: Dict[int, List[int]] = {d: [] for d in dna_ids}
+    protein_dnas: Dict[int, List[int]] = {p: [] for p in protein_ids}
+
+    def add_encodes(pid: int, did: int) -> None:
+        if pid in dna_proteins[did]:
+            return
+        encodes_rows.append((fresh_id(), pid, did))
+        dna_proteins[did].append(pid)
+        protein_dnas[pid].append(did)
+
+    genomic = [d for d in dna_ids if dna_types[d] == "genomic"]
+    n_operons = max(1, int(config.n_dnas * config.operon_fraction))
+    operon_dnas = genomic[:n_operons] if genomic else dna_ids[:n_operons]
+    shuffled_proteins = protein_ids[:]
+    rng.shuffle(shuffled_proteins)
+    cursor = 0
+    for did in operon_dnas:
+        size = rng.randint(2, 4)
+        members = []
+        for _ in range(size):
+            members.append(shuffled_proteins[cursor % len(shuffled_proteins)])
+            cursor += 1
+        for pid in dict.fromkeys(members):
+            add_encodes(pid, did)
+
+    coding = [d for d in dna_ids if dna_types[d] == "mRNA"]
+    for pid in protein_ids:
+        if protein_dnas[pid]:
+            continue
+        if not coding:
+            break
+        add_encodes(pid, rng.choice(coding))
+    protein_weights = _zipf_weights(len(protein_ids))
+    n_multi = int(config.n_proteins * config.multi_encoded_fraction)
+    for pid in rng.choices(protein_ids, weights=protein_weights, k=n_multi):
+        did = rng.choice(dna_ids)
+        if dna_types[did] != "EST":
+            add_encodes(pid, did)
+
+    # ------------------------------------------------------------------
+    # unigenes: cluster proteins; align with their DNAs; attach ESTs
+    # ------------------------------------------------------------------
+    uni_encodes_rows: List[Tuple[int, int, int]] = []
+    uni_contains_rows: List[Tuple[int, int, int]] = []
+    est_pool = [d for d in dna_ids if dna_types[d] == "EST"]
+    for uid in unigene_ids:
+        cluster_size = rng.choices((1, 2, 3), weights=(0.7, 0.22, 0.08))[0]
+        members = rng.sample(protein_ids, k=min(cluster_size, len(protein_ids)))
+        contained: List[int] = []
+        for pid in members:
+            uni_encodes_rows.append((fresh_id(), uid, pid))
+            if protein_dnas[pid] and rng.random() < config.unigene_alignment_prob:
+                did = rng.choice(protein_dnas[pid])
+                if did not in contained:
+                    uni_contains_rows.append((fresh_id(), uid, did))
+                    contained.append(did)
+        if est_pool and rng.random() < config.est_extra_prob:
+            for did in rng.sample(est_pool, k=min(rng.randint(1, 2), len(est_pool))):
+                if did not in contained:
+                    uni_contains_rows.append((fresh_id(), uid, did))
+                    contained.append(did)
+
+    # ------------------------------------------------------------------
+    # interactions: protein-protein, TF-DNA binding, planted operons
+    # ------------------------------------------------------------------
+    interaction_rows: List[Tuple[int, str, str]] = []
+    interacts_protein_rows: List[Tuple[int, int, int]] = []
+    interacts_dna_rows: List[Tuple[int, int, int]] = []
+    ikeyword_hits = {k: 0 for k, _ in INTERACTION_KEYWORDS}
+
+    def new_interaction(itype: str) -> int:
+        iid = fresh_id()
+        plan = []
+        for keyword, fraction in INTERACTION_KEYWORDS:
+            include = rng.random() < fraction
+            ikeyword_hits[keyword] += int(include)
+            plan.append((keyword, include))
+        interaction_rows.append((iid, itype, _desc(rng, plan)))
+        return iid
+
+    for _ in range(config.n_interactions):
+        if rng.random() < config.tf_binding_fraction:
+            pid = rng.choice(protein_ids)
+            iid = new_interaction("tf-binding")
+            interacts_protein_rows.append((fresh_id(), pid, iid))
+            if protein_dnas[pid] and rng.random() < config.self_regulation_prob:
+                did = rng.choice(protein_dnas[pid])
+                truth.self_regulating.append((pid, did, iid))
+            else:
+                did = rng.choice(dna_ids)
+            interacts_dna_rows.append((fresh_id(), did, iid))
+        else:
+            a, b = rng.sample(protein_ids, k=2)
+            iid = new_interaction("protein-protein")
+            interacts_protein_rows.append((fresh_id(), a, iid))
+            interacts_protein_rows.append((fresh_id(), b, iid))
+
+    for did in operon_dnas:
+        members = dna_proteins[did]
+        if len(members) >= 2 and rng.random() < config.operon_interaction_prob:
+            a, b = rng.sample(members, k=2)
+            iid = new_interaction("operon-pair")
+            interacts_protein_rows.append((fresh_id(), a, iid))
+            interacts_protein_rows.append((fresh_id(), b, iid))
+            truth.operons.append(
+                OperonSystem(did, tuple(members), (a, b), iid)
+            )
+    if interaction_rows:
+        for keyword, hits in ikeyword_hits.items():
+            truth.interaction_keyword_fractions[keyword] = hits / len(interaction_rows)
+
+    # ------------------------------------------------------------------
+    # families, pathways, structures
+    # ------------------------------------------------------------------
+    belongs_rows: List[Tuple[int, int, int]] = []
+    family_weights = _zipf_weights(len(family_ids))
+    for pid in protein_ids:
+        if rng.random() < config.family_membership_prob:
+            fid = rng.choices(family_ids, weights=family_weights)[0]
+            belongs_rows.append((fresh_id(), pid, fid))
+            if rng.random() < config.second_family_prob:
+                other = rng.choices(family_ids, weights=family_weights)[0]
+                if other != fid:
+                    belongs_rows.append((fresh_id(), pid, other))
+
+    in_pathway_rows: List[Tuple[int, int, int]] = []
+    for fid in family_ids:
+        for wid in rng.sample(pathway_ids, k=min(rng.randint(0, 2), len(pathway_ids))):
+            in_pathway_rows.append((fresh_id(), fid, wid))
+
+    manifests_rows: List[Tuple[int, int, int]] = []
+    available_structures = structure_ids[:]
+    rng.shuffle(available_structures)
+    for pid in protein_ids:
+        if available_structures and rng.random() < config.structure_prob:
+            sid = available_structures.pop()
+            manifests_rows.append((fresh_id(), pid, sid))
+        if not available_structures:
+            break
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    db.table("Protein").bulk_load(protein_rows)
+    db.table("DNA").bulk_load(dna_rows)
+    db.table("Unigene").bulk_load(unigene_rows)
+    db.table("Interaction").bulk_load(interaction_rows)
+    db.table("Family").bulk_load(family_rows)
+    db.table("Pathway").bulk_load(pathway_rows)
+    db.table("Structure").bulk_load(structure_rows)
+    db.table("Encodes").bulk_load(encodes_rows)
+    db.table("UniEncodes").bulk_load(uni_encodes_rows)
+    db.table("UniContains").bulk_load(uni_contains_rows)
+    db.table("InteractsProtein").bulk_load(interacts_protein_rows)
+    db.table("InteractsDNA").bulk_load(interacts_dna_rows)
+    db.table("Belongs").bulk_load(belongs_rows)
+    db.table("InPathway").bulk_load(in_pathway_rows)
+    db.table("Manifests").bulk_load(manifests_rows)
+    return BiozonDataset(database=db, truth=truth, config=config)

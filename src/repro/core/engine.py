@@ -1,0 +1,175 @@
+"""The Topology Query Engine facade (Figure 10's architecture).
+
+``TopologySearchSystem`` owns the base data (relational database + data
+graph), runs the offline phase (Topology Computation -> Topology
+Pruning -> materialized tables), and dispatches queries to any of the
+nine methods the paper evaluates (Section 6.1):
+
+====================  =====================================================
+method name           description
+====================  =====================================================
+``sql``               one existence query per candidate topology (§3.1)
+``full-top``          single join against the full AllTops table (§3.2)
+``fast-top``          LeftTops join + online checks for pruned (§4.3, SQL1)
+``full-top-k``        AllTops + ORDER BY score FETCH FIRST k (SQL3/4)
+``fast-top-k``        staged LeftTops top-k + pruned checks (SQL4/SQL5)
+``full-top-k-et``     DGJ stack over AllTops (§5.3)
+``fast-top-k-et``     DGJ stack over LeftTops + pruned merging (§5.3)
+``full-top-k-opt``    cost-based choice between full-top-k and its ET plan
+``fast-top-k-opt``    cost-based choice between fast-top-k and its ET plan
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.biozon.schema import database_to_graph
+from repro.core.alltops import AllTopsReport, compute_alltops
+from repro.core.model import Topology
+from repro.core.pruning import PruneReport, apply_pruning
+from repro.core.query import TopologyQuery
+from repro.core.store import TopologyStore
+from repro.core.topologies import DEFAULT_COMBINATION_CAP
+from repro.core.weak import WeakPathRules
+from repro.errors import TopologyError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.relational.database import Database
+from repro.relational.sql.planner import Engine
+from repro.relational.statistics import StatsCatalog
+
+
+@dataclass
+class BuildReport:
+    """Combined offline-phase summary."""
+
+    alltops: AllTopsReport
+    pruning: Optional[PruneReport]
+    elapsed_seconds: float
+
+
+class TopologySearchSystem:
+    """Offline computation plus online query dispatch."""
+
+    def __init__(
+        self,
+        database: Database,
+        graph: Optional[LabeledGraph] = None,
+        weak_rules: Optional[WeakPathRules] = None,
+    ) -> None:
+        self.database = database
+        self.graph = graph if graph is not None else database_to_graph(database)
+        self.weak_rules = weak_rules or WeakPathRules()
+        self.store: Optional[TopologyStore] = None
+        self.max_length: Optional[int] = None
+        self.built_pairs: List[Tuple[str, str]] = []
+        self.stats = StatsCatalog(database)
+        self.engine = Engine(database, self.stats)
+        self.build_report: Optional[BuildReport] = None
+        self._methods: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        entity_pairs: Sequence[Tuple[str, str]],
+        max_length: int = 3,
+        prune_threshold: Optional[int] = None,
+        prune: bool = True,
+        combination_cap: int = DEFAULT_COMBINATION_CAP,
+        per_pair_path_limit: Optional[int] = None,
+    ) -> BuildReport:
+        """Run Topology Computation and Topology Pruning, then
+        materialize the derived tables and refresh statistics."""
+        start = time.perf_counter()
+        store = TopologyStore(self.weak_rules)
+        store, alltops_report = compute_alltops(
+            self.graph,
+            entity_pairs,
+            max_length,
+            store=store,
+            combination_cap=combination_cap,
+            per_pair_path_limit=per_pair_path_limit,
+        )
+        prune_report: Optional[PruneReport] = None
+        if prune:
+            prune_report = apply_pruning(store, prune_threshold)
+        else:
+            store.lefttops_rows = list(store.alltops_rows)
+            store.excptops_rows = []
+        store.materialize(self.database)
+        self.stats.refresh()
+        self.store = store
+        self.max_length = max_length
+        self.built_pairs = [tuple(p) for p in entity_pairs]
+        self._methods.clear()
+        self.build_report = BuildReport(
+            alltops=alltops_report,
+            pruning=prune_report,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return self.build_report
+
+    def require_store(self) -> TopologyStore:
+        if self.store is None:
+            raise TopologyError("offline phase not run: call build() first")
+        return self.store
+
+    # ------------------------------------------------------------------
+    # Query orientation helpers
+    # ------------------------------------------------------------------
+    def orientation(self, query: TopologyQuery) -> bool:
+        """True when the query's (entity1, entity2) matches the build
+        orientation (entity1 -> E1); False when reversed."""
+        pair = (query.entity1, query.entity2)
+        if pair in self.built_pairs:
+            return True
+        if (pair[1], pair[0]) in self.built_pairs:
+            return False
+        raise TopologyError(
+            f"entity pair {pair!r} was not covered by build(); "
+            f"built pairs: {self.built_pairs}"
+        )
+
+    def store_entity_pair(self, query: TopologyQuery) -> Tuple[str, str]:
+        """The entity pair as stored in TopInfo (build orientation)."""
+        if self.orientation(query):
+            return (query.entity1, query.entity2)
+        return (query.entity2, query.entity1)
+
+    def validate_query(self, query: TopologyQuery) -> None:
+        if self.max_length is not None and query.max_length != self.max_length:
+            raise TopologyError(
+                f"store was built for l={self.max_length}, "
+                f"query asks l={query.max_length}"
+            )
+        self.orientation(query)
+
+    # ------------------------------------------------------------------
+    # Method dispatch
+    # ------------------------------------------------------------------
+    def method(self, name: str):
+        """Get (and cache) a method instance by its paper name."""
+        from repro.core.methods import create_method
+
+        key = name.lower()
+        if key not in self._methods:
+            self._methods[key] = create_method(key, self)
+        return self._methods[key]
+
+    def search(self, query: TopologyQuery, method: str = "fast-top-k-opt"):
+        """Run one query with the chosen method."""
+        self.validate_query(query)
+        return self.method(method).run(query)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def topology(self, tid: int) -> Topology:
+        return self.require_store().topology(tid)
+
+    def describe_topologies(self, tids: Sequence[int]) -> List[str]:
+        return [self.topology(t).display() for t in tids]

@@ -1,0 +1,158 @@
+"""Instance-level retrieval for a topology (Section 6.2.4).
+
+After topology results are shown, the user drills into one topology to
+see the concrete biological systems realizing it.  Retrieval anchors the
+topology's structure at each related entity pair (from AllTops/LeftTops)
+and enumerates labeled subgraph embeddings in the data graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import Topology
+from repro.core.query import TopologyQuery
+from repro.core.topologies import topologies_for_pair
+from repro.errors import TopologyError
+from repro.graph.isomorphism import find_embeddings
+from repro.graph.labeled_graph import LabeledGraph, NodeId
+
+
+@dataclass(frozen=True)
+class TopologyInstance:
+    """One concrete occurrence of a topology: the entity pair plus the
+    full mapping of canonical structure positions to data entities and
+    relationship edges."""
+
+    tid: int
+    e1: NodeId
+    e2: NodeId
+    node_map: Tuple[Tuple[int, NodeId], ...]
+    edge_map: Tuple[Tuple[str, object], ...]
+
+    def entities(self) -> List[NodeId]:
+        return [nid for _, nid in self.node_map]
+
+
+class InstanceRetriever:
+    """Retrieves instances for topologies produced by a system."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    def pairs_for_topology(self, tid: int) -> List[Tuple[NodeId, NodeId]]:
+        """All entity pairs related by the topology (from the store)."""
+        return self.system.require_store().pairs_for_tid(tid)
+
+    def instances(
+        self,
+        tid: int,
+        query: Optional[TopologyQuery] = None,
+        limit: Optional[int] = 100,
+        per_pair_limit: Optional[int] = 10,
+    ) -> List[TopologyInstance]:
+        """Enumerate instances of a topology, optionally restricted to
+        pairs whose endpoints satisfy a query's constraints.
+
+        The paper reports 1-50 s per topology on Biozon, scaling with
+        topology frequency; ``limit`` bounds the result set.
+        """
+        system = self.system
+        topology = system.topology(tid)
+        pattern = topology.graph()
+        end1_idx, end2_idx = topology.endpoint_indices
+        graph = system.graph
+
+        keep = self._pair_filter(topology, query)
+        out: List[TopologyInstance] = []
+        for e1, e2 in self.pairs_for_topology(tid):
+            if not keep(e1, e2):
+                continue
+            embeddings = self._anchored_embeddings(
+                pattern, graph, end1_idx, end2_idx, e1, e2, per_pair_limit
+            )
+            for node_map, edge_map in embeddings:
+                out.append(
+                    TopologyInstance(
+                        tid=tid,
+                        e1=e1,
+                        e2=e2,
+                        node_map=tuple(sorted(node_map.items(), key=lambda kv: str(kv[0]))),
+                        edge_map=tuple(
+                            sorted(
+                                ((str(k), v) for k, v in edge_map.items()),
+                                key=lambda kv: kv[0],
+                            )
+                        ),
+                    )
+                )
+                if limit is not None and len(out) >= limit:
+                    return out
+        return out
+
+    def verify_pair(self, tid: int, e1: NodeId, e2: NodeId, max_length: int) -> bool:
+        """Reference check: is the pair related by exactly this topology
+        (Definition 2)?  Used by tests and the SQL method."""
+        topology = self.system.topology(tid)
+        pair = topologies_for_pair(self.system.graph, e1, e2, max_length)
+        return topology.key in pair.topology_keys
+
+    # ------------------------------------------------------------------
+    def _pair_filter(self, topology: Topology, query: Optional[TopologyQuery]):
+        if query is None:
+            return lambda e1, e2: True
+        system = self.system
+        db = system.database
+
+        def satisfies(entity_table: str, constraint, entity_id: NodeId) -> bool:
+            table = db.table(entity_table)
+            rows = table.get_by_key(entity_id)
+            if not rows:
+                return False
+            from repro.relational.operators import table_layout
+
+            layout = table_layout(table, "x")
+            fn = constraint.to_expression("x").bind(layout)
+            return fn(rows[0]) is True
+
+        oriented = system.orientation(query)
+
+        def keep(e1: NodeId, e2: NodeId) -> bool:
+            if oriented:
+                return satisfies(query.entity1, query.constraint1, e1) and satisfies(
+                    query.entity2, query.constraint2, e2
+                )
+            return satisfies(query.entity1, query.constraint1, e2) and satisfies(
+                query.entity2, query.constraint2, e1
+            )
+
+        return keep
+
+    def _anchored_embeddings(
+        self,
+        pattern: LabeledGraph,
+        graph: LabeledGraph,
+        end1_idx: int,
+        end2_idx: int,
+        e1: NodeId,
+        e2: NodeId,
+        per_pair_limit: Optional[int],
+    ):
+        embeddings = find_embeddings(
+            pattern,
+            graph,
+            anchors={end1_idx: e1, end2_idx: e2},
+            limit=per_pair_limit,
+        )
+        if embeddings:
+            return embeddings
+        # Same-typed endpoints may anchor in the opposite orientation.
+        if pattern.node_type(end1_idx) == pattern.node_type(end2_idx):
+            return find_embeddings(
+                pattern,
+                graph,
+                anchors={end1_idx: e2, end2_idx: e1},
+                limit=per_pair_limit,
+            )
+        return []

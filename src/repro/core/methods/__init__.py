@@ -1,0 +1,55 @@
+"""The nine query-processing methods evaluated in Section 6."""
+
+from typing import Dict, Type
+
+from repro.core.methods.base import Method, MethodResult
+from repro.core.methods.et import FastTopKEtMethod, FullTopKEtMethod
+from repro.core.methods.fast_top import FastTopMethod
+from repro.core.methods.full_top import FullTopMethod
+from repro.core.methods.optimized import FastTopKOptMethod, FullTopKOptMethod
+from repro.core.methods.sql_method import SqlMethod
+from repro.core.methods.topk import FastTopKMethod, FullTopKMethod
+from repro.errors import TopologyError
+
+METHOD_CLASSES: Dict[str, Type[Method]] = {
+    "sql": SqlMethod,
+    "full-top": FullTopMethod,
+    "fast-top": FastTopMethod,
+    "full-top-k": FullTopKMethod,
+    "fast-top-k": FastTopKMethod,
+    "full-top-k-et": FullTopKEtMethod,
+    "fast-top-k-et": FastTopKEtMethod,
+    "full-top-k-opt": FullTopKOptMethod,
+    "fast-top-k-opt": FastTopKOptMethod,
+}
+
+ALL_METHOD_NAMES = tuple(METHOD_CLASSES)
+
+
+def create_method(name: str, system) -> Method:
+    """Instantiate a method by its paper name."""
+    try:
+        cls = METHOD_CLASSES[name.lower()]
+    except KeyError:
+        raise TopologyError(
+            f"unknown method {name!r}; known: {sorted(METHOD_CLASSES)}"
+        ) from None
+    return cls(system)
+
+
+__all__ = [
+    "ALL_METHOD_NAMES",
+    "METHOD_CLASSES",
+    "Method",
+    "MethodResult",
+    "FastTopKEtMethod",
+    "FastTopKMethod",
+    "FastTopKOptMethod",
+    "FastTopMethod",
+    "FullTopKEtMethod",
+    "FullTopKMethod",
+    "FullTopKOptMethod",
+    "FullTopMethod",
+    "SqlMethod",
+    "create_method",
+]

@@ -1,0 +1,109 @@
+"""Common scaffolding for the nine query methods."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import TopologyQuery
+from repro.core.ranking import score_column
+
+
+@dataclass
+class MethodResult:
+    """One query evaluation's outcome.
+
+    ``tids`` are topology ids — ranked (score descending, tid descending
+    on ties) for top-k methods, sorted ascending for exhaustive methods.
+    ``work`` captures the executor counters consumed (rows scanned,
+    index probes, ...), a noise-free complement to wall-clock time.
+    """
+
+    method: str
+    query: TopologyQuery
+    tids: List[int]
+    scores: Optional[List[float]]
+    elapsed_seconds: float
+    work: Dict[str, int] = field(default_factory=dict)
+    plan_choice: Optional[str] = None
+
+    @property
+    def ranked(self) -> List[Tuple[int, float]]:
+        if self.scores is None:
+            raise ValueError(f"method {self.method} does not produce scores")
+        return list(zip(self.tids, self.scores))
+
+
+class Method:
+    """Base class: holds the system handle and the timing/counter rig."""
+
+    name = "abstract"
+    is_topk = False
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    # -- Template ----------------------------------------------------------
+    def run(self, query: TopologyQuery) -> MethodResult:
+        self.system.validate_query(query)
+        stats = self.system.database.stats
+        before = stats.snapshot()
+        start = time.perf_counter()
+        tids, scores, plan_choice = self._execute(query)
+        elapsed = time.perf_counter() - start
+        after = stats.snapshot()
+        work = {k: after[k] - before[k] for k in after}
+        return MethodResult(
+            method=self.name,
+            query=query,
+            tids=tids,
+            scores=scores,
+            elapsed_seconds=elapsed,
+            work=work,
+            plan_choice=plan_choice,
+        )
+
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        raise NotImplementedError
+
+    # -- Shared helpers ------------------------------------------------------
+    def _aliases(self, query: TopologyQuery) -> Tuple[str, str]:
+        """Table aliases for the two constrained entity tables."""
+        return ("q1", "q2")
+
+    def _endpoint_sql(self, query: TopologyQuery) -> Tuple[str, str, str, str]:
+        """FROM items and WHERE fragments for the two constrained
+        entity tables."""
+        a1, a2 = self._aliases(query)
+        from1 = f"{query.entity1} {a1}"
+        from2 = f"{query.entity2} {a2}"
+        cond1 = query.constraint1.to_sql(a1)
+        cond2 = query.constraint2.to_sql(a2)
+        return from1, from2, cond1, cond2
+
+    def _pair_join_sql(self, query: TopologyQuery, pairs_alias: str) -> Tuple[str, str]:
+        """Join conditions tying the pairs table (AllTops/LeftTops) to the
+        two entity aliases, respecting the build orientation."""
+        a1, a2 = self._aliases(query)
+        if self.system.orientation(query):
+            return (f"{a1}.ID = {pairs_alias}.E1", f"{a2}.ID = {pairs_alias}.E2")
+        return (f"{a1}.ID = {pairs_alias}.E2", f"{a2}.ID = {pairs_alias}.E1")
+
+    def _score_col(self, query: TopologyQuery) -> str:
+        return score_column(query.ranking)
+
+    def _entity_pair_filter(self, query: TopologyQuery, topinfo_alias: str) -> str:
+        es1, es2 = self.system.store_entity_pair(query)
+        return (
+            f"{topinfo_alias}.ES1 = '{es1}' AND {topinfo_alias}.ES2 = '{es2}'"
+        )
+
+    def _rank(self, scored: Dict[int, float], k: Optional[int]) -> Tuple[List[int], List[float]]:
+        """Order (score desc, tid desc) and cut at k."""
+        ordered = sorted(scored.items(), key=lambda kv: (-kv[1], -kv[0]))
+        if k is not None:
+            ordered = ordered[:k]
+        return [t for t, _ in ordered], [s for _, s in ordered]

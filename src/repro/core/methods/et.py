@@ -1,0 +1,199 @@
+"""Early-termination methods (Section 5.3): DGJ operator stacks.
+
+The plan mirrors the paper's Figure 15: a score-ordered index scan of
+TopInfo feeds a stack of DGJ joins — first into the pairs table
+(LeftTops / AllTops) on TID, then into each constrained entity table —
+with the query predicates as residual filters inside the stack.  A
+witness row for a topology makes the driver skip the rest of that
+group; after k topologies the query stops.
+
+Fast-Top-k-ET merges the pruned topologies into the score order: when
+the next-best score belongs to a pruned topology, its SQL5 online check
+runs before any lower-scored unpruned group is processed.
+
+``flavor`` selects the DGJ implementation per entity level: ``idgj``
+(index nested-loops) or ``hdgj`` (group-at-a-time hash join) — the
+plans of Figure 15 (a) and (b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.methods.base import Method
+from repro.core.methods.fast_top import FastTopMethod
+from repro.core.query import TopologyQuery
+from repro.errors import TopologyError
+from repro.relational.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+)
+from repro.relational.operators import (
+    FirstPerGroup,
+    Filter,
+    GroupAware,
+    GroupFilter,
+    HDGJ,
+    IDGJ,
+    OrderedIndexScan,
+    SeqScan,
+)
+
+
+class _EtBase(Method):
+    is_topk = True
+    pairs_table = "LeftTops"
+    include_pruned_checks = True
+
+    def __init__(self, system, flavor: str = "idgj") -> None:
+        super().__init__(system)
+        if flavor not in ("idgj", "hdgj"):
+            raise TopologyError("flavor must be 'idgj' or 'hdgj'")
+        self.flavor = flavor
+        self._fast_top = FastTopMethod(system)
+
+    # ------------------------------------------------------------------
+    # Plan construction (Figure 15)
+    # ------------------------------------------------------------------
+    def build_stack(self, query: TopologyQuery) -> GroupAware:
+        db = self.system.database
+        topinfo = db.table("TopInfo")
+        score_col = self._score_col(query)
+        sorted_index = topinfo.sorted_index_on(score_col)
+        if sorted_index is None:
+            raise TopologyError(f"no sorted index on TopInfo.{score_col}")
+        tid_pos = topinfo.schema.column_position("TID")
+        scan = OrderedIndexScan(
+            topinfo,
+            "t",
+            sorted_index,
+            descending=True,
+            group_positions=[tid_pos],
+            stats=db.stats,
+        )
+        es1, es2 = self.system.store_entity_pair(query)
+        filters = [
+            Comparison("=", ColumnRef("t", "es1"), Literal(es1)),
+            Comparison("=", ColumnRef("t", "es2"), Literal(es2)),
+        ]
+        if self.include_pruned_checks:
+            # Pruned topologies have no LeftTops rows; they are merged
+            # in by score via their SQL5 checks instead.
+            filters.append(Comparison("=", ColumnRef("t", "pruned"), Literal(False)))
+        source: GroupAware = GroupFilter(scan, And(filters))
+
+        pairs = db.table(self.pairs_table)
+        tid_index = pairs.hash_index_on(["TID"])
+        stack: GroupAware = IDGJ(
+            source,
+            pairs,
+            "pt",
+            tid_index,
+            [source.layout.position("t", "tid")],
+        )
+
+        oriented = self.system.orientation(query)
+        col1 = "e1" if oriented else "e2"
+        col2 = "e2" if oriented else "e1"
+        stack = self._entity_level(
+            stack, query.entity1, "q1", col1, query.constraint1.to_expression("q1")
+        )
+        stack = self._entity_level(
+            stack, query.entity2, "q2", col2, query.constraint2.to_expression("q2")
+        )
+        return stack
+
+    def _entity_level(
+        self,
+        outer: GroupAware,
+        entity_table: str,
+        alias: str,
+        pairs_column: str,
+        predicate,
+    ) -> GroupAware:
+        db = self.system.database
+        table = db.table(entity_table)
+        key_pos = outer.layout.position("pt", pairs_column)
+        if self.flavor == "idgj":
+            pk_index = table.hash_index_on(["ID"])
+            return IDGJ(outer, table, alias, pk_index, [key_pos], residual=predicate)
+
+        def inner_factory(table=table, alias=alias, predicate=predicate):
+            return Filter(SeqScan(table, alias, db.stats), predicate)
+
+        id_pos = table.schema.column_position("ID")
+        return HDGJ(outer, inner_factory, [key_pos], [id_pos])
+
+    # ------------------------------------------------------------------
+    # Driver: merge the DGJ stream with pruned-topology checks
+    # ------------------------------------------------------------------
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        if query.k is None:
+            raise TopologyError(f"{self.name} requires a top-k query")
+        stack = self.build_stack(query)
+        stream = FirstPerGroup(stack, None)
+        tid_pos = stream.layout.position("t", "tid")
+        score_pos = stream.layout.position("t", self._score_col(query).lower())
+
+        pruned: List = []
+        if self.include_pruned_checks:
+            pruned = sorted(
+                self._fast_top.pruned_topologies(query),
+                key=lambda t: (-t.scores[query.ranking], -t.tid),
+            )
+        pruned_idx = 0
+
+        results: List[Tuple[int, float]] = []
+        stream.open()
+        try:
+            pending = stream.next()
+            while len(results) < query.k:
+                stream_key = (
+                    (pending[score_pos], pending[tid_pos]) if pending is not None else None
+                )
+                pruned_key = None
+                if pruned_idx < len(pruned):
+                    candidate = pruned[pruned_idx]
+                    pruned_key = (candidate.scores[query.ranking], candidate.tid)
+                if stream_key is None and pruned_key is None:
+                    break
+                if pruned_key is not None and (
+                    stream_key is None or pruned_key > stream_key
+                ):
+                    topology = pruned[pruned_idx]
+                    pruned_idx += 1
+                    check = self.system.engine.execute(
+                        self._fast_top.pruned_branch_sql(query, topology)
+                        + "\nFETCH FIRST 1 ROWS ONLY"
+                    )
+                    if check.rows:
+                        results.append((topology.tid, pruned_key[0]))
+                else:
+                    results.append((pending[tid_pos], pending[score_pos]))
+                    pending = stream.next()
+        finally:
+            stream.close()
+
+        tids = [t for t, _ in results]
+        scores = [s for _, s in results]
+        return tids, scores, self.flavor
+
+
+class FullTopKEtMethod(_EtBase):
+    """DGJ stack over the unpruned AllTops table."""
+
+    name = "full-top-k-et"
+    pairs_table = "AllTops"
+    include_pruned_checks = False
+
+
+class FastTopKEtMethod(_EtBase):
+    """DGJ stack over LeftTops with pruned topologies merged by score."""
+
+    name = "fast-top-k-et"
+    pairs_table = "LeftTops"
+    include_pruned_checks = True

@@ -1,0 +1,83 @@
+"""Fast-Top (Section 4.3): LeftTops plus online pruned-topology checks.
+
+The generated statement follows the paper's SQL1: the first branch joins
+the satisfying entities with LeftTops; one extra UNION branch per pruned
+topology re-checks its path condition online with a chain join over the
+relationship tables, subtracting the exception pairs via NOT EXISTS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.methods.base import Method
+from repro.core.model import Topology
+from repro.core.pathsql import multi_chain_fragments
+from repro.core.query import TopologyQuery
+
+
+class FastTopMethod(Method):
+    name = "fast-top"
+
+    def pruned_topologies(self, query: TopologyQuery) -> List[Topology]:
+        store = self.system.require_store()
+        pair = self.system.store_entity_pair(query)
+        return sorted(
+            (
+                store.topology(tid)
+                for tid in store.pruned_tids
+                if store.topology(tid).entity_pair == pair
+            ),
+            key=lambda t: t.tid,
+        )
+
+    def pruned_branch_sql(self, query: TopologyQuery, topology: Topology) -> str:
+        """The SQL1 lower sub-query for one pruned topology."""
+        a1, a2 = self._aliases(query)
+        from1, from2, cond1, cond2 = self._endpoint_sql(query)
+        es1, es2 = self.system.store_entity_pair(query)
+        oriented = self.system.orientation(query)
+        end1_alias = a1 if oriented else a2
+        end2_alias = a2 if oriented else a1
+        chain = multi_chain_fragments(
+            topology.class_signatures, es1, es2, end1_alias, end2_alias
+        )
+        not_exists = (
+            f"NOT EXISTS (SELECT 1 FROM ExcpTops X "
+            f"WHERE X.E1 = {end1_alias}.ID AND X.E2 = {end2_alias}.ID "
+            f"AND X.TID = {topology.tid})"
+        )
+        from_clause = ", ".join([from1, from2] + list(chain.from_items))
+        conditions = [cond1, cond2] + list(chain.conditions) + [not_exists]
+        return (
+            f"SELECT DISTINCT {topology.tid} AS TID\n"
+            f"FROM {from_clause}\n"
+            f"WHERE " + " AND ".join(conditions)
+        )
+
+    def sql_for(self, query: TopologyQuery) -> str:
+        from1, from2, cond1, cond2 = self._endpoint_sql(query)
+        join1, join2 = self._pair_join_sql(query, "LT")
+        branches = [
+            (
+                f"SELECT DISTINCT LT.TID\n"
+                f"FROM {from1}, {from2}, LeftTops LT\n"
+                f"WHERE {cond1} AND {cond2}\n"
+                f"  AND {join1} AND {join2}"
+            )
+        ]
+        for topology in self.pruned_topologies(query):
+            branches.append(self.pruned_branch_sql(query, topology))
+        return "\nUNION\n".join(branches)
+
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        result = self.system.engine.execute(self.sql_for(query))
+        tids = sorted(row[0] for row in result.rows)
+        if query.k is None:
+            return tids, None, None
+        store = self.system.require_store()
+        scored = {t: store.topology(t).scores[query.ranking] for t in tids}
+        ranked_tids, scores = self._rank(scored, query.k)
+        return ranked_tids, scores, None

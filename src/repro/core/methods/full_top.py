@@ -1,0 +1,46 @@
+"""Full-Top (Section 3.2): query the precomputed AllTops table."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.methods.base import Method
+from repro.core.query import TopologyQuery
+
+
+class FullTopMethod(Method):
+    """One SQL join of the satisfying entities against AllTops — the
+    paper's example:
+
+    .. code-block:: sql
+
+        SELECT DISTINCT AT.TID
+        FROM Protein P, DNA D, AllTops AT
+        WHERE P.desc.ct('enzyme') AND D.type = 'mRNA'
+          AND P.ID = AT.E1 AND D.ID = AT.E2
+    """
+
+    name = "full-top"
+    pairs_table = "AllTops"
+
+    def sql_for(self, query: TopologyQuery) -> str:
+        from1, from2, cond1, cond2 = self._endpoint_sql(query)
+        join1, join2 = self._pair_join_sql(query, "AT")
+        return (
+            f"SELECT DISTINCT AT.TID\n"
+            f"FROM {from1}, {from2}, {self.pairs_table} AT\n"
+            f"WHERE {cond1} AND {cond2}\n"
+            f"  AND {join1} AND {join2}"
+        )
+
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        result = self.system.engine.execute(self.sql_for(query))
+        tids = sorted(row[0] for row in result.rows)
+        if query.k is None:
+            return tids, None, None
+        store = self.system.require_store()
+        scored = {t: store.topology(t).scores[query.ranking] for t in tids}
+        ranked_tids, scores = self._rank(scored, query.k)
+        return ranked_tids, scores, None

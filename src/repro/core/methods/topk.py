@@ -1,0 +1,107 @@
+"""Full-Top-k and Fast-Top-k (Section 5.1): SQL3-SQL5.
+
+Full-Top-k orders the AllTops join by the TopInfo score and fetches the
+first k rows (SQL3/SQL4 over the unpruned store).
+
+Fast-Top-k is *staged* per the paper's optimization: evaluate the
+LeftTops sub-query first (SQL4); only when a pruned topology's score
+could still make the top k does its online check (SQL5) run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.methods.base import Method
+from repro.core.methods.fast_top import FastTopMethod
+from repro.core.query import TopologyQuery
+from repro.errors import TopologyError
+
+
+class FullTopKMethod(Method):
+    name = "full-top-k"
+    is_topk = True
+    pairs_table = "AllTops"
+
+    def sql_for(self, query: TopologyQuery) -> str:
+        if query.k is None:
+            raise TopologyError(f"{self.name} requires a top-k query")
+        from1, from2, cond1, cond2 = self._endpoint_sql(query)
+        join1, join2 = self._pair_join_sql(query, "AT")
+        score = self._score_col(query)
+        return (
+            f"SELECT DISTINCT AT.TID, T.{score} AS SCORE\n"
+            f"FROM {from1}, {from2}, {self.pairs_table} AT, TopInfo T\n"
+            f"WHERE {cond1} AND {cond2}\n"
+            f"  AND {join1} AND {join2} AND T.TID = AT.TID\n"
+            f"ORDER BY SCORE DESC, TID DESC\n"
+            f"FETCH FIRST {query.k} ROWS ONLY"
+        )
+
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        result = self.system.engine.execute(self.sql_for(query))
+        tids = [row[0] for row in result.rows]
+        scores = [row[1] for row in result.rows]
+        return tids, scores, None
+
+
+class FastTopKMethod(Method):
+    name = "fast-top-k"
+    is_topk = True
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self._fast_top = FastTopMethod(system)
+
+    def unpruned_sql(self, query: TopologyQuery) -> str:
+        """SQL4: top-k over LeftTops only."""
+        from1, from2, cond1, cond2 = self._endpoint_sql(query)
+        join1, join2 = self._pair_join_sql(query, "LT")
+        score = self._score_col(query)
+        return (
+            f"SELECT DISTINCT LT.TID, T.{score} AS SCORE\n"
+            f"FROM {from1}, {from2}, LeftTops LT, TopInfo T\n"
+            f"WHERE {cond1} AND {cond2}\n"
+            f"  AND {join1} AND {join2} AND T.TID = LT.TID\n"
+            f"ORDER BY SCORE DESC, TID DESC\n"
+            f"FETCH FIRST {query.k} ROWS ONLY"
+        )
+
+    def pruned_check_sql(self, query: TopologyQuery, topology) -> str:
+        """SQL5: does some satisfying pair match this pruned topology's
+        path condition and survive the exception table?"""
+        branch = self._fast_top.pruned_branch_sql(query, topology)
+        return branch + "\nFETCH FIRST 1 ROWS ONLY"
+
+    def _execute(
+        self, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+        if query.k is None:
+            raise TopologyError(f"{self.name} requires a top-k query")
+        engine = self.system.engine
+        result = engine.execute(self.unpruned_sql(query))
+        ranked: List[Tuple[int, float]] = [(row[0], row[1]) for row in result.rows]
+
+        # Stage 2 (SQL5): check each pruned topology whose score could
+        # still enter the current top k, best score first.
+        pruned = self._fast_top.pruned_topologies(query)
+        candidates = sorted(
+            pruned,
+            key=lambda t: (-t.scores[query.ranking], -t.tid),
+        )
+        for topology in candidates:
+            score = topology.scores[query.ranking]
+            if len(ranked) >= query.k:
+                kth = ranked[-1]
+                if (score, topology.tid) <= (kth[1], kth[0]):
+                    continue  # cannot displace the kth result
+            check = engine.execute(self.pruned_check_sql(query, topology))
+            if check.rows:
+                ranked.append((topology.tid, score))
+                ranked.sort(key=lambda ts: (-ts[1], -ts[0]))
+                ranked = ranked[: query.k]
+        tids = [t for t, _ in ranked]
+        scores = [s for _, s in ranked]
+        return tids, scores, None

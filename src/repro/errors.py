@@ -1,0 +1,51 @@
+"""Exception hierarchy for the topology-search reproduction.
+
+Every package raises subclasses of :class:`ReproError` so applications can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph operation."""
+
+
+class SchemaError(ReproError):
+    """Invalid relational schema definition or violation."""
+
+
+class CatalogError(ReproError):
+    """Unknown table, column, or index referenced."""
+
+
+class SqlError(ReproError):
+    """Error while tokenizing, parsing, or binding a SQL statement."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be parsed."""
+
+
+class SqlBindError(SqlError):
+    """The SQL parsed but references unknown tables/columns or is ambiguous."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure inside the query executor."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology-search request or inconsistent topology store."""
+
+
+class GeneratorError(ReproError):
+    """Invalid synthetic-database generator configuration."""

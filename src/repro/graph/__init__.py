@@ -1,0 +1,70 @@
+"""Graph substrate: labeled multigraphs, canonical forms, isomorphism,
+path enumeration, and schema-level topology enumeration.
+
+This package implements Section 2.1 of the paper (the graph data model
+and labeled isomorphism) plus the schema-path machinery of Section 3.1.
+"""
+
+from repro.graph.canonical import (
+    CanonicalForm,
+    are_isomorphic,
+    canonical_form,
+    canonical_form_and_order,
+    canonical_key,
+    graph_from_canonical,
+    parse_canonical_key,
+)
+from repro.graph.isomorphism import (
+    find_embeddings,
+    has_subgraph_isomorphism,
+    subgraph_isomorphisms,
+)
+from repro.graph.labeled_graph import LabeledGraph, Path, union_all
+from repro.graph.paths import (
+    bfs_distances,
+    iter_simple_paths,
+    pairs_within_distance,
+    path_set,
+    paths_from_source,
+)
+from repro.graph.schema_enum import (
+    PossibleTopology,
+    count_possible_topologies,
+    enumerate_possible_topologies,
+)
+from repro.graph.schema_graph import (
+    SchemaEdge,
+    SchemaGraph,
+    SchemaPath,
+    enumerate_schema_paths,
+    instantiate_template,
+)
+
+__all__ = [
+    "CanonicalForm",
+    "LabeledGraph",
+    "Path",
+    "PossibleTopology",
+    "SchemaEdge",
+    "SchemaGraph",
+    "SchemaPath",
+    "are_isomorphic",
+    "bfs_distances",
+    "canonical_form",
+    "canonical_form_and_order",
+    "canonical_key",
+    "count_possible_topologies",
+    "enumerate_possible_topologies",
+    "enumerate_schema_paths",
+    "find_embeddings",
+    "graph_from_canonical",
+    "has_subgraph_isomorphism",
+    "instantiate_template",
+    "iter_simple_paths",
+    "pairs_within_distance",
+    "parse_canonical_key",
+    "path_set",
+    "paths_from_source",
+    "subgraph_isomorphisms",
+    "union_all",
+]

@@ -1,0 +1,201 @@
+"""Labeled subgraph isomorphism (VF2-flavoured backtracking).
+
+Section 2.1 defines *subgraph isomorphism*: an injection ``f`` from the
+pattern's nodes into the target's nodes preserving node types and, for
+every pattern edge, the existence of a target edge of the same type
+between the images.  This module provides:
+
+* :func:`subgraph_isomorphisms` — enumerate all such injections
+  (optionally anchored: specific pattern nodes pre-bound to specific
+  target nodes), with injective *edge* assignments so parallel edges are
+  matched to distinct target edges;
+* :func:`has_subgraph_isomorphism` — existence test;
+* :func:`find_embeddings` — embeddings returned as (node map, edge map)
+  pairs, used by instance retrieval (Section 6.2.4).
+
+The matcher is used where canonical forms do not apply: checking whether
+a *specific pair of data entities* is related by a given topology
+structure (the SQL method's existence queries and the exactness check of
+``l-Top`` membership).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.labeled_graph import EdgeId, LabeledGraph, NodeId
+
+NodeMap = Dict[NodeId, NodeId]
+EdgeMap = Dict[EdgeId, EdgeId]
+
+
+def _pattern_order(pattern: LabeledGraph, anchored: List[NodeId]) -> List[NodeId]:
+    """Order pattern nodes for backtracking: anchored nodes first, then a
+    connectivity-first order (each subsequent node adjacent to an earlier
+    one when possible) to fail fast."""
+    order: List[NodeId] = list(anchored)
+    seen = set(order)
+    # Deterministic frontier expansion.
+    remaining = sorted((n for n in pattern.nodes() if n not in seen), key=str)
+    while remaining:
+        picked = None
+        for candidate in remaining:
+            if any(nbr in seen for _, nbr in pattern.neighbors(candidate)):
+                picked = candidate
+                break
+        if picked is None:
+            picked = remaining[0]
+        order.append(picked)
+        seen.add(picked)
+        remaining.remove(picked)
+    return order
+
+
+def _assign_edges(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    node_map: NodeMap,
+) -> Iterator[EdgeMap]:
+    """Enumerate injective assignments of pattern edges to target edges
+    consistent with ``node_map``.  With no parallel edges this yields at
+    most one assignment."""
+    pattern_edges = sorted(pattern.edges(), key=str)
+
+    def backtrack(idx: int, used: set, acc: EdgeMap) -> Iterator[EdgeMap]:
+        if idx == len(pattern_edges):
+            yield dict(acc)
+            return
+        peid = pattern_edges[idx]
+        pu, pv = pattern.edge_endpoints(peid)
+        ptype = pattern.edge_type(peid)
+        tu, tv = node_map[pu], node_map[pv]
+        for teid in target.edges_between(tu, tv):
+            if teid in used or target.edge_type(teid) != ptype:
+                continue
+            used.add(teid)
+            acc[peid] = teid
+            yield from backtrack(idx + 1, used, acc)
+            used.discard(teid)
+            del acc[peid]
+
+    yield from backtrack(0, set(), {})
+
+
+def subgraph_isomorphisms(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    anchors: Optional[NodeMap] = None,
+) -> Iterator[NodeMap]:
+    """Enumerate injective node maps ``pattern -> target`` preserving node
+    types and edge-type adjacency (with enough parallel target edges to
+    host parallel pattern edges).
+
+    ``anchors`` pre-binds pattern nodes to target nodes (used to anchor a
+    topology's two endpoints at a concrete entity pair).
+    """
+    anchors = anchors or {}
+    for p_node, t_node in anchors.items():
+        if pattern.node_type(p_node) != target.node_type(t_node):
+            return
+    anchored_targets = list(anchors.values())
+    if len(set(anchored_targets)) != len(anchored_targets):
+        return
+
+    order = _pattern_order(pattern, sorted(anchors, key=str))
+    mapping: NodeMap = dict(anchors)
+    used = set(anchors.values())
+
+    def candidates(p_node: NodeId) -> Iterator[NodeId]:
+        """Target candidates for p_node: via an already-mapped neighbour
+        when possible (cheap), else all nodes of the right type."""
+        ptype = pattern.node_type(p_node)
+        for peid, pnbr in pattern.neighbors(p_node):
+            if pnbr in mapping:
+                etype = pattern.edge_type(peid)
+                seen = set()
+                for teid, tnbr in target.neighbors(mapping[pnbr]):
+                    if (
+                        tnbr not in seen
+                        and target.edge_type(teid) == etype
+                        and target.node_type(tnbr) == ptype
+                    ):
+                        seen.add(tnbr)
+                        yield tnbr
+                return
+        for t_node in target.nodes():
+            if target.node_type(t_node) == ptype:
+                yield t_node
+
+    def feasible(p_node: NodeId, t_node: NodeId) -> bool:
+        """Every pattern edge from p_node to an already-mapped node must
+        have enough same-type parallel target edges."""
+        required: Dict[Tuple[NodeId, str], int] = {}
+        for peid, pnbr in pattern.neighbors(p_node):
+            if pnbr in mapping or pnbr == p_node:
+                key = (mapping.get(pnbr, t_node), pattern.edge_type(peid))
+                required[key] = required.get(key, 0) + 1
+        for (t_nbr, etype), count in required.items():
+            available = sum(
+                1 for eid in target.edges_between(t_node, t_nbr) if target.edge_type(eid) == etype
+            )
+            if available < count:
+                return False
+        return True
+
+    def backtrack(idx: int) -> Iterator[NodeMap]:
+        if idx == len(order):
+            yield dict(mapping)
+            return
+        p_node = order[idx]
+        if p_node in mapping:  # anchored
+            if feasible(p_node, mapping[p_node]):
+                yield from backtrack(idx + 1)
+            return
+        for t_node in candidates(p_node):
+            if t_node in used:
+                continue
+            if not feasible(p_node, t_node):
+                continue
+            mapping[p_node] = t_node
+            used.add(t_node)
+            yield from backtrack(idx + 1)
+            del mapping[p_node]
+            used.discard(t_node)
+
+    # Anchored nodes must themselves satisfy adjacency with one another.
+    for p_node in sorted(anchors, key=str):
+        if not feasible(p_node, anchors[p_node]):
+            return
+    yield from backtrack(0)
+
+
+def has_subgraph_isomorphism(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    anchors: Optional[NodeMap] = None,
+) -> bool:
+    """Does at least one (anchored) subgraph isomorphism exist?"""
+    for _ in subgraph_isomorphisms(pattern, target, anchors):
+        return True
+    return False
+
+
+def find_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    anchors: Optional[NodeMap] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[NodeMap, EdgeMap]]:
+    """Full embeddings (node map + injective edge map).
+
+    ``limit`` caps the number of embeddings returned; enumeration stops
+    early once reached.  This powers instance-level retrieval for a
+    topology (the paper reports 1–50 s per topology on Biozon).
+    """
+    results: List[Tuple[NodeMap, EdgeMap]] = []
+    for node_map in subgraph_isomorphisms(pattern, target, anchors):
+        for edge_map in _assign_edges(pattern, target, node_map):
+            results.append((node_map, edge_map))
+            if limit is not None and len(results) >= limit:
+                return results
+    return results

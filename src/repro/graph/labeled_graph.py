@@ -1,0 +1,277 @@
+"""Labeled undirected multigraphs — the paper's data-graph model.
+
+Section 2.1 of the paper models a database as a large undirected graph
+``G = (V, E)`` where every node carries an entity type and every edge a
+relationship type.  :class:`LabeledGraph` implements exactly that model:
+
+* nodes are identified by arbitrary hashable ids (the paper uses the
+  primary-key value of the underlying row, globally unique),
+* edges are identified by their own ids (the primary key of the
+  relationship row) and connect two nodes,
+* parallel edges between the same pair of nodes are allowed (two
+  relationship rows may connect the same entities), and
+* everything is undirected — the paper treats each relationship and its
+  reverse as the same edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+NodeId = Hashable
+EdgeId = Hashable
+
+
+class LabeledGraph:
+    """An undirected multigraph with typed nodes and typed edges.
+
+    Example
+    -------
+    >>> g = LabeledGraph()
+    >>> g.add_node("p1", "Protein")
+    >>> g.add_node("d1", "DNA")
+    >>> g.add_edge("e1", "p1", "d1", "encodes")
+    >>> g.node_type("p1")
+    'Protein'
+    >>> sorted(nbr for _, nbr in g.neighbors("p1"))
+    ['d1']
+    """
+
+    __slots__ = ("_nodes", "_edges", "_adjacency")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[NodeId, str] = {}
+        # edge id -> (u, v, edge_type); (u, v) stored in insertion order but
+        # semantically unordered.
+        self._edges: Dict[EdgeId, Tuple[NodeId, NodeId, str]] = {}
+        self._adjacency: Dict[NodeId, List[Tuple[EdgeId, NodeId]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, node_type: str) -> None:
+        """Add a node.  Re-adding an existing id with the same type is a
+        no-op; with a different type it is an error."""
+        existing = self._nodes.get(node_id)
+        if existing is not None:
+            if existing != node_type:
+                raise GraphError(
+                    f"node {node_id!r} already present with type {existing!r}, "
+                    f"cannot re-add with type {node_type!r}"
+                )
+            return
+        self._nodes[node_id] = node_type
+        self._adjacency[node_id] = []
+
+    def add_edge(self, edge_id: EdgeId, u: NodeId, v: NodeId, edge_type: str) -> None:
+        """Add an undirected edge between existing nodes ``u`` and ``v``."""
+        if edge_id in self._edges:
+            raise GraphError(f"edge id {edge_id!r} already present")
+        if u not in self._nodes:
+            raise GraphError(f"edge {edge_id!r}: unknown endpoint {u!r}")
+        if v not in self._nodes:
+            raise GraphError(f"edge {edge_id!r}: unknown endpoint {v!r}")
+        if u == v:
+            raise GraphError(f"edge {edge_id!r}: self loops are not part of the model")
+        self._edges[edge_id] = (u, v, edge_type)
+        self._adjacency[u].append((edge_id, v))
+        self._adjacency[v].append((edge_id, u))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[EdgeId]:
+        return iter(self._edges)
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: EdgeId) -> bool:
+        return edge_id in self._edges
+
+    def node_type(self, node_id: NodeId) -> str:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def edge_type(self, edge_id: EdgeId) -> str:
+        try:
+            return self._edges[edge_id][2]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id!r}") from None
+
+    def edge_endpoints(self, edge_id: EdgeId) -> Tuple[NodeId, NodeId]:
+        try:
+            u, v, _ = self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id!r}") from None
+        return u, v
+
+    def neighbors(self, node_id: NodeId) -> List[Tuple[EdgeId, NodeId]]:
+        """Return ``[(edge_id, neighbor), ...]`` for every incident edge."""
+        try:
+            return self._adjacency[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def degree(self, node_id: NodeId) -> int:
+        return len(self.neighbors(node_id))
+
+    def edges_between(self, u: NodeId, v: NodeId) -> List[EdgeId]:
+        """All parallel edges connecting ``u`` and ``v``."""
+        return [eid for eid, nbr in self.neighbors(u) if nbr == v]
+
+    def node_types(self) -> Dict[NodeId, str]:
+        return dict(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, node_ids: Iterable[NodeId], edge_ids: Iterable[EdgeId]) -> "LabeledGraph":
+        """Build the subgraph induced by explicit node and edge id sets."""
+        sub = LabeledGraph()
+        for nid in node_ids:
+            sub.add_node(nid, self.node_type(nid))
+        for eid in edge_ids:
+            u, v, etype = self._edges[eid]
+            if not (sub.has_node(u) and sub.has_node(v)):
+                raise GraphError(f"edge {eid!r} endpoints not in the node set")
+            sub.add_edge(eid, u, v, etype)
+        return sub
+
+    def union(self, other: "LabeledGraph") -> "LabeledGraph":
+        """Graph union as defined in Section 2.1: union of node and edge
+        sets (ids shared between the operands are merged)."""
+        out = LabeledGraph()
+        for g in (self, other):
+            for nid in g.nodes():
+                out.add_node(nid, g.node_type(nid))
+        for g in (self, other):
+            for eid in g.edges():
+                if out.has_edge(eid):
+                    continue
+                u, v, etype = g._edges[eid]
+                out.add_edge(eid, u, v, etype)
+        return out
+
+    def copy(self) -> "LabeledGraph":
+        out = LabeledGraph()
+        out._nodes = dict(self._nodes)
+        out._edges = dict(self._edges)
+        out._adjacency = {k: list(v) for k, v in self._adjacency.items()}
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def type_counts(self) -> Dict[str, int]:
+        """Histogram of node types (useful in reports and tests)."""
+        counts: Dict[str, int] = {}
+        for t in self._nodes.values():
+            counts[t] = counts.get(t, 0) + 1
+        return counts
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabeledGraph(nodes={self.node_count}, edges={self.edge_count})"
+
+
+def union_all(graphs: Iterable[LabeledGraph]) -> LabeledGraph:
+    """Union an iterable of graphs (id-based merge, as in the paper)."""
+    out = LabeledGraph()
+    for g in graphs:
+        for nid in g.nodes():
+            out.add_node(nid, g.node_type(nid))
+        for eid in g.edges():
+            if out.has_edge(eid):
+                continue
+            u, v = g.edge_endpoints(eid)
+            out.add_edge(eid, u, v, g.edge_type(eid))
+    return out
+
+
+class Path:
+    """A simple path: alternating nodes and edges, no node repeated.
+
+    The paper treats a path as a subgraph of the data graph; use
+    :meth:`as_graph` for that view and :meth:`signature` for the labeled
+    isomorphism class of a *path-shaped* graph (cheap special case of
+    canonical form — a path is isomorphic to another path iff their
+    label sequences match forward or reversed).
+    """
+
+    __slots__ = ("nodes", "edges", "_graph")
+
+    def __init__(self, nodes: List[NodeId], edges: List[EdgeId], graph: LabeledGraph) -> None:
+        if len(nodes) != len(edges) + 1:
+            raise GraphError("path must have exactly one more node than edges")
+        if len(set(nodes)) != len(nodes):
+            raise GraphError("paths are simple: no node may repeat")
+        self.nodes: Tuple[NodeId, ...] = tuple(nodes)
+        self.edges: Tuple[EdgeId, ...] = tuple(edges)
+        self._graph = graph
+
+    @property
+    def length(self) -> int:
+        """Number of edges traversed (paper's definition of path length)."""
+        return len(self.edges)
+
+    @property
+    def source(self) -> NodeId:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> NodeId:
+        return self.nodes[-1]
+
+    def label_sequence(self) -> Tuple[str, ...]:
+        """Alternating node/edge type labels from source to target."""
+        g = self._graph
+        labels: List[str] = [g.node_type(self.nodes[0])]
+        for eid, nid in zip(self.edges, self.nodes[1:]):
+            labels.append(g.edge_type(eid))
+            labels.append(g.node_type(nid))
+        return tuple(labels)
+
+    def signature(self) -> Tuple[str, ...]:
+        """Direction-independent label sequence: the lexicographic minimum
+        of the forward and reversed sequences.  Two simple paths have equal
+        signatures iff they are isomorphic as labeled graphs."""
+        fwd = self.label_sequence()
+        return min(fwd, fwd[::-1])
+
+    def as_graph(self) -> LabeledGraph:
+        return self._graph.subgraph(self.nodes, self.edges)
+
+    def reversed(self) -> "Path":
+        return Path(list(self.nodes[::-1]), list(self.edges[::-1]), self._graph)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hops = [str(self.nodes[0])]
+        for eid, nid in zip(self.edges, self.nodes[1:]):
+            hops.append(f"-[{eid}]-{nid}")
+        return "Path(" + "".join(hops) + ")"

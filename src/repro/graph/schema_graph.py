@@ -1,0 +1,212 @@
+"""Schema graphs and schema-path enumeration.
+
+The database schema (the paper's Figure 1) is itself a small labeled
+multigraph: nodes are entity sets, edges are relationship sets.  A
+*schema path* is a walk in this multigraph — entity types may repeat
+(``Protein-encodes-DNA-encodes-Protein`` is a legal schema path because
+at the instance level the two proteins are distinct entities), which is
+why walks rather than simple paths are enumerated here.
+
+The paper counts "ten schema paths of length three or less that connect
+proteins and DNAs" in Biozon; :func:`enumerate_schema_paths` reproduces
+that count on our schema (asserted in tests and ``bench_counts``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """A relationship set: ``name`` connects entity sets ``left`` and
+    ``right`` (undirected, like every relationship in the paper)."""
+
+    name: str
+    left: str
+    right: str
+
+    def other(self, entity_type: str) -> str:
+        if entity_type == self.left:
+            return self.right
+        if entity_type == self.right:
+            return self.left
+        raise SchemaError(f"{entity_type!r} is not an endpoint of {self.name!r}")
+
+    def touches(self, entity_type: str) -> bool:
+        return entity_type in (self.left, self.right)
+
+
+class SchemaGraph:
+    """The ER schema as an undirected multigraph of entity sets."""
+
+    def __init__(self, entity_types: Sequence[str], edges: Sequence[SchemaEdge]) -> None:
+        if len(set(entity_types)) != len(entity_types):
+            raise SchemaError("duplicate entity types in schema")
+        self._entity_types: Tuple[str, ...] = tuple(entity_types)
+        self._edges: Dict[str, SchemaEdge] = {}
+        self._incident: Dict[str, List[SchemaEdge]] = {t: [] for t in entity_types}
+        for edge in edges:
+            if edge.name in self._edges:
+                raise SchemaError(f"duplicate relationship name {edge.name!r}")
+            for endpoint in (edge.left, edge.right):
+                if endpoint not in self._incident:
+                    raise SchemaError(
+                        f"relationship {edge.name!r} references unknown entity type {endpoint!r}"
+                    )
+            self._edges[edge.name] = edge
+            self._incident[edge.left].append(edge)
+            if edge.right != edge.left:
+                self._incident[edge.right].append(edge)
+
+    @property
+    def entity_types(self) -> Tuple[str, ...]:
+        return self._entity_types
+
+    @property
+    def relationship_names(self) -> List[str]:
+        return list(self._edges)
+
+    def edge(self, name: str) -> SchemaEdge:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise SchemaError(f"unknown relationship {name!r}") from None
+
+    def incident(self, entity_type: str) -> List[SchemaEdge]:
+        try:
+            return self._incident[entity_type]
+        except KeyError:
+            raise SchemaError(f"unknown entity type {entity_type!r}") from None
+
+    def has_entity_type(self, entity_type: str) -> bool:
+        return entity_type in self._incident
+
+    def as_labeled_graph(self) -> LabeledGraph:
+        """View the schema itself as a :class:`LabeledGraph` (node per
+        entity set) — used for rendering and sanity checks."""
+        g = LabeledGraph()
+        for t in self._entity_types:
+            g.add_node(t, t)
+        for edge in self._edges.values():
+            g.add_edge(edge.name, edge.left, edge.right, edge.name)
+        return g
+
+
+@dataclass(frozen=True)
+class SchemaPath:
+    """A schema-level walk: alternating entity types and relationship
+    names, e.g. ``(Protein, uni_encodes, Unigene, uni_contains, DNA)``.
+
+    Two walks that are reverses of one another describe the same labeled
+    path class; :meth:`signature` is the direction-independent key.
+    """
+
+    labels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) % 2 == 0 or len(self.labels) < 3:
+            raise SchemaError("schema path must alternate type/rel/type/...")
+
+    @property
+    def length(self) -> int:
+        return len(self.labels) // 2
+
+    @property
+    def source_type(self) -> str:
+        return self.labels[0]
+
+    @property
+    def target_type(self) -> str:
+        return self.labels[-1]
+
+    @property
+    def node_labels(self) -> Tuple[str, ...]:
+        return self.labels[0::2]
+
+    @property
+    def edge_labels(self) -> Tuple[str, ...]:
+        return self.labels[1::2]
+
+    def signature(self) -> Tuple[str, ...]:
+        return min(self.labels, self.labels[::-1])
+
+    def display(self) -> str:
+        parts: List[str] = []
+        for i, label in enumerate(self.labels):
+            parts.append(label if i % 2 == 0 else f"-{label}-")
+        return "".join(parts)
+
+
+def enumerate_schema_paths(
+    schema: SchemaGraph,
+    source_type: str,
+    target_type: str,
+    max_length: int,
+) -> List[SchemaPath]:
+    """All schema paths (walks, deduplicated under reversal) of length
+    ≤ ``max_length`` between two entity sets, in deterministic order.
+    """
+    if not schema.has_entity_type(source_type):
+        raise SchemaError(f"unknown entity type {source_type!r}")
+    if not schema.has_entity_type(target_type):
+        raise SchemaError(f"unknown entity type {target_type!r}")
+
+    results: List[SchemaPath] = []
+    seen: set = set()
+
+    def extend(labels: List[str], current: str) -> None:
+        depth = len(labels) // 2
+        if depth >= 1 and current == target_type:
+            path = SchemaPath(tuple(labels))
+            sig = path.signature()
+            if sig not in seen:
+                seen.add(sig)
+                results.append(path)
+        if depth == max_length:
+            return
+        for edge in schema.incident(current):
+            nxt = edge.other(current)
+            extend(labels + [edge.name, nxt], nxt)
+
+    extend([source_type], source_type)
+    results.sort(key=lambda p: (p.length, p.labels))
+    return results
+
+
+def instantiate_template(
+    paths: Sequence[SchemaPath],
+    source_id: str = "@a",
+    target_id: str = "@b",
+) -> Tuple[LabeledGraph, List[List[str]]]:
+    """Materialize template paths sharing only the two endpoints.
+
+    Returns the template graph plus, per input path, the list of its node
+    ids in order.  Intermediate nodes get fresh ids ``@p{i}n{j}``; the
+    caller may then merge same-type intermediates to enumerate sharing
+    patterns (see :mod:`repro.graph.schema_enum`).
+    """
+    g = LabeledGraph()
+    node_lists: List[List[str]] = []
+    if not paths:
+        return g, node_lists
+    g.add_node(source_id, paths[0].source_type)
+    g.add_node(target_id, paths[0].target_type)
+    for i, path in enumerate(paths):
+        if path.source_type != g.node_type(source_id) or path.target_type != g.node_type(target_id):
+            raise SchemaError("all template paths must share endpoint types")
+        nodes = [source_id]
+        types = path.node_labels
+        for j in range(1, len(types) - 1):
+            nid = f"@p{i}n{j}"
+            g.add_node(nid, types[j])
+            nodes.append(nid)
+        nodes.append(target_id)
+        for j, rel in enumerate(path.edge_labels):
+            g.add_edge(f"@p{i}e{j}", nodes[j], nodes[j + 1], rel)
+        node_lists.append(nodes)
+    return g, node_lists

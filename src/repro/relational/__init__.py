@@ -1,0 +1,35 @@
+"""Relational engine substrate.
+
+A from-scratch, in-memory relational database: typed tables with hash
+and sorted indexes, Volcano-style physical operators (including the
+paper's Distinct Group Join family), a SQL subset front end, table
+statistics, and a System-R dynamic-programming optimizer extended with
+the paper's DGJ cost model.
+
+The paper prototypes on IBM DB2; this package plays DB2's role so the
+paper's engine-level contributions (Sections 5.3-5.4) can be
+implemented *inside* the engine rather than bolted on outside.
+"""
+
+from repro.relational.database import Database, ExecStats
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.schema import Column, TableSchema
+from repro.relational.sql.planner import Engine, QueryResult
+from repro.relational.statistics import StatsCatalog, collect_table_stats
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Database",
+    "Engine",
+    "ExecStats",
+    "HashIndex",
+    "QueryResult",
+    "SortedIndex",
+    "StatsCatalog",
+    "Table",
+    "TableSchema",
+    "collect_table_stats",
+]

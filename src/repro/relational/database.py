@@ -1,0 +1,96 @@
+"""The database catalog: named tables plus execution-wide counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import CatalogError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+@dataclass
+class ExecStats:
+    """Abstract work counters accumulated by the executor.
+
+    The cost model and the benchmarks both use these: wall-clock time in
+    pure Python is noisy, while "rows scanned + index probes" tracks the
+    same quantities the paper's cost model estimates.
+    """
+
+    rows_scanned: int = 0
+    index_probes: int = 0
+    rows_joined: int = 0
+    rows_emitted: int = 0
+    subqueries_run: int = 0
+    groups_skipped: int = 0
+
+    def reset(self) -> None:
+        self.rows_scanned = 0
+        self.index_probes = 0
+        self.rows_joined = 0
+        self.rows_emitted = 0
+        self.subqueries_run = 0
+        self.groups_skipped = 0
+
+    def total_work(self) -> int:
+        """Single scalar "work" figure for coarse comparisons."""
+        return self.rows_scanned + self.index_probes + self.rows_joined
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "rows_scanned": self.rows_scanned,
+            "index_probes": self.index_probes,
+            "rows_joined": self.rows_joined,
+            "rows_emitted": self.rows_emitted,
+            "subqueries_run": self.subqueries_run,
+            "groups_skipped": self.groups_skipped,
+        }
+
+
+class Database:
+    """A named collection of :class:`Table` objects.
+
+    Table lookup is case-insensitive, like the SQL layer's identifiers.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self.stats = ExecStats()
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def table_names(self) -> List[str]:
+        return [t.schema.name for t in self._tables.values()]
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def total_bytes(self) -> int:
+        return sum(t.estimated_bytes() for t in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name}, tables={sorted(self._tables)})"

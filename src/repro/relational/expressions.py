@@ -1,0 +1,468 @@
+"""Scalar expressions and predicates over rows.
+
+Expressions are immutable trees.  Before execution they are *bound*
+against a :class:`RowLayout` (the qualified column list an operator
+produces), yielding a plain Python closure — evaluation is then just a
+function call per row, with no name resolution in the hot loop.
+
+SQL three-valued logic is honoured: comparisons against NULL evaluate to
+``None`` ("unknown"), AND/OR/NOT propagate unknowns per Kleene logic,
+and WHERE treats unknown as false.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SqlBindError
+from repro.relational.types import comparable
+
+Row = Tuple[Any, ...]
+RowFunc = Callable[[Row], Any]
+ColumnKey = Tuple[Optional[str], str]  # (qualifier or None, column name), lowercase
+
+
+class RowLayout:
+    """The qualified column list of an operator's output.
+
+    Each entry is ``(alias, column_name)``; unqualified references
+    resolve when exactly one entry matches the column name.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[str, str]]) -> None:
+        self.entries: Tuple[Tuple[str, str], ...] = tuple(
+            (alias.lower(), name.lower()) for alias, name in entries
+        )
+        self._by_qualified: Dict[Tuple[str, str], int] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        for i, (alias, name) in enumerate(self.entries):
+            if (alias, name) in self._by_qualified:
+                raise SqlBindError(f"duplicate column {alias}.{name} in row layout")
+            self._by_qualified[(alias, name)] = i
+            self._by_name.setdefault(name, []).append(i)
+
+    @property
+    def arity(self) -> int:
+        return len(self.entries)
+
+    def position(self, qualifier: Optional[str], name: str) -> int:
+        name = name.lower()
+        if qualifier is not None:
+            key = (qualifier.lower(), name)
+            if key not in self._by_qualified:
+                raise SqlBindError(f"unknown column {qualifier}.{name}")
+            return self._by_qualified[key]
+        hits = self._by_name.get(name, [])
+        if not hits:
+            raise SqlBindError(f"unknown column {name}")
+        if len(hits) > 1:
+            raise SqlBindError(f"ambiguous column {name}")
+        return hits[0]
+
+    def has(self, qualifier: Optional[str], name: str) -> bool:
+        try:
+            self.position(qualifier, name)
+            return True
+        except SqlBindError:
+            return False
+
+    def concat(self, other: "RowLayout") -> "RowLayout":
+        return RowLayout(list(self.entries) + list(other.entries))
+
+    def aliases(self) -> Set[str]:
+        return {alias for alias, _ in self.entries}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RowLayout(" + ", ".join(f"{a}.{n}" for a, n in self.entries) + ")"
+
+
+class Expression:
+    """Base class.  Subclasses implement :meth:`bind` and
+    :meth:`column_refs`."""
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        raise NotImplementedError
+
+    def column_refs(self) -> Set[ColumnKey]:
+        """All (qualifier, column) pairs referenced, lowercased."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def and_(self, other: "Expression") -> "Expression":
+        return And([self, other])
+
+    def evaluate_single(self, layout: RowLayout, row: Row) -> Any:
+        return self.bind(layout)(row)
+
+
+class Literal(Expression):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        value = self.value
+        return lambda row: value
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class ColumnRef(Expression):
+    def __init__(self, qualifier: Optional[str], name: str) -> None:
+        self.qualifier = qualifier.lower() if qualifier else None
+        self.name = name.lower()
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        pos = layout.position(self.qualifier, self.name)
+        return lambda row: row[pos]
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return {(self.qualifier, self.name)}
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.display()})"
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Expression):
+    """Binary comparison with SQL NULL semantics (NULL -> unknown)."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op == "!=":
+            op = "<>"
+        if op not in _COMPARATORS:
+            raise SqlBindError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        lf, rf = self.left.bind(layout), self.right.bind(layout)
+        fn = _COMPARATORS[self.op]
+        ordered = self.op in ("<", "<=", ">", ">=")
+
+        def run(row: Row) -> Optional[bool]:
+            a, b = lf(row), rf(row)
+            if a is None or b is None:
+                return None
+            if ordered and not comparable(a, b):
+                return None
+            return fn(a, b)
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.left.column_refs() | self.right.column_refs()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    def __init__(self, items: Sequence[Expression]) -> None:
+        self.items = list(items)
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        funcs = [item.bind(layout) for item in self.items]
+
+        def run(row: Row) -> Optional[bool]:
+            unknown = False
+            for fn in funcs:
+                v = fn(row)
+                if v is False:
+                    return False
+                if v is None:
+                    unknown = True
+            return None if unknown else True
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        refs: Set[ColumnKey] = set()
+        for item in self.items:
+            refs |= item.column_refs()
+        return refs
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(map(repr, self.items)) + ")"
+
+
+class Or(Expression):
+    def __init__(self, items: Sequence[Expression]) -> None:
+        self.items = list(items)
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        funcs = [item.bind(layout) for item in self.items]
+
+        def run(row: Row) -> Optional[bool]:
+            unknown = False
+            for fn in funcs:
+                v = fn(row)
+                if v is True:
+                    return True
+                if v is None:
+                    unknown = True
+            return None if unknown else False
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        refs: Set[ColumnKey] = set()
+        for item in self.items:
+            refs |= item.column_refs()
+        return refs
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(map(repr, self.items)) + ")"
+
+
+class Not(Expression):
+    def __init__(self, item: Expression) -> None:
+        self.item = item
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        fn = self.item.bind(layout)
+
+        def run(row: Row) -> Optional[bool]:
+            v = fn(row)
+            if v is None:
+                return None
+            return not v
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.item.column_refs()
+
+    def __repr__(self) -> str:
+        return f"Not({self.item!r})"
+
+
+class Contains(Expression):
+    """Case-insensitive substring containment — the engine-level
+    realization of the paper's ``desc.ct('enzyme')`` keyword predicate."""
+
+    def __init__(self, haystack: Expression, needle: Expression) -> None:
+        self.haystack = haystack
+        self.needle = needle
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        hf, nf = self.haystack.bind(layout), self.needle.bind(layout)
+
+        def run(row: Row) -> Optional[bool]:
+            h, n = hf(row), nf(row)
+            if h is None or n is None:
+                return None
+            return str(n).lower() in str(h).lower()
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.haystack.column_refs() | self.needle.column_refs()
+
+    def __repr__(self) -> str:
+        return f"Contains({self.haystack!r}, {self.needle!r})"
+
+
+class Like(Expression):
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
+
+    def __init__(self, value: Expression, pattern: str, negated: bool = False) -> None:
+        self.value = value
+        self.pattern = pattern
+        self.negated = negated
+        # re.escape leaves % and _ untouched (they are not regex
+        # metacharacters), so translate them after escaping the rest.
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        self._compiled = re.compile(f"^{regex}$", re.DOTALL)
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        vf = self.value.bind(layout)
+        compiled = self._compiled
+        negated = self.negated
+
+        def run(row: Row) -> Optional[bool]:
+            v = vf(row)
+            if v is None:
+                return None
+            matched = compiled.match(str(v)) is not None
+            return (not matched) if negated else matched
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.value.column_refs()
+
+    def __repr__(self) -> str:
+        return f"Like({self.value!r}, {self.pattern!r})"
+
+
+class InList(Expression):
+    def __init__(self, value: Expression, options: Sequence[Any], negated: bool = False) -> None:
+        self.value = value
+        self.options = frozenset(options)
+        self.negated = negated
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        vf = self.value.bind(layout)
+        options = self.options
+        negated = self.negated
+
+        def run(row: Row) -> Optional[bool]:
+            v = vf(row)
+            if v is None:
+                return None
+            found = v in options
+            return (not found) if negated else found
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.value.column_refs()
+
+    def __repr__(self) -> str:
+        return f"InList({self.value!r}, {sorted(map(repr, self.options))}, negated={self.negated})"
+
+
+class IsNull(Expression):
+    def __init__(self, value: Expression, negated: bool = False) -> None:
+        self.value = value
+        self.negated = negated
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        vf = self.value.bind(layout)
+        negated = self.negated
+
+        def run(row: Row) -> bool:
+            is_null = vf(row) is None
+            return (not is_null) if negated else is_null
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.value.column_refs()
+
+    def __repr__(self) -> str:
+        return f"IsNull({self.value!r}, negated={self.negated})"
+
+
+_ARITH: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Arith(Expression):
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _ARITH:
+            raise SqlBindError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        lf, rf = self.left.bind(layout), self.right.bind(layout)
+        fn = _ARITH[self.op]
+
+        def run(row: Row) -> Any:
+            a, b = lf(row), rf(row)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.left.column_refs() | self.right.column_refs()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Neg(Expression):
+    def __init__(self, value: Expression) -> None:
+        self.value = value
+
+    def bind(self, layout: RowLayout) -> RowFunc:
+        vf = self.value.bind(layout)
+
+        def run(row: Row) -> Any:
+            v = vf(row)
+            return None if v is None else -v
+
+        return run
+
+    def column_refs(self) -> Set[ColumnKey]:
+        return self.value.column_refs()
+
+    def __repr__(self) -> str:
+        return f"Neg({self.value!r})"
+
+
+# ----------------------------------------------------------------------
+# Predicate analysis helpers (used by the planner/optimizer)
+# ----------------------------------------------------------------------
+def split_conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    """Flatten nested ANDs into a conjunct list ([] for None)."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: List[Expression] = []
+        for item in expr.items:
+            out.extend(split_conjuncts(item))
+        return out
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    """Inverse of :func:`split_conjuncts`."""
+    items = list(conjuncts)
+    if not items:
+        return None
+    if len(items) == 1:
+        return items[0]
+    return And(items)
+
+
+def referenced_aliases(expr: Expression) -> Set[str]:
+    """Qualifiers mentioned by the expression (unqualified refs excluded)."""
+    return {q for q, _ in expr.column_refs() if q is not None}
+
+
+def as_equijoin(expr: Expression) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """If ``expr`` is ``a.x = b.y`` with two different qualifiers, return
+    the pair of refs; otherwise None."""
+    if (
+        isinstance(expr, Comparison)
+        and expr.op == "="
+        and isinstance(expr.left, ColumnRef)
+        and isinstance(expr.right, ColumnRef)
+        and expr.left.qualifier is not None
+        and expr.right.qualifier is not None
+        and expr.left.qualifier != expr.right.qualifier
+    ):
+        return expr.left, expr.right
+    return None
+
+
+def is_truthy(value: Any) -> bool:
+    """WHERE semantics: unknown (None) counts as false."""
+    return value is True

@@ -1,0 +1,130 @@
+"""Secondary indexes: hash (equality) and sorted (range / ordered scan).
+
+The paper's experiments "built indices on all the primary keys and
+queried attributes"; the sorted index additionally provides the
+score-ordered scan of ``TopInfo`` that the ET plans rely on
+("idxScan TopoInfo (score order)", Figure 15).
+
+Both index kinds map a key value to the *positions* of matching rows in
+the owning table's row list.  They are maintained on append; the tables
+in this workload are bulk-loaded and never updated in place (Biozon
+updates arrive "in bulk every few weeks" per Section 3.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class HashIndex:
+    """Equality index: key value -> list of row positions."""
+
+    def __init__(self, name: str, column_positions: Sequence[int]) -> None:
+        self.name = name
+        self.column_positions: Tuple[int, ...] = tuple(column_positions)
+        self._buckets: Dict[Any, List[int]] = {}
+
+    def key_of(self, row: Sequence[Any]) -> Any:
+        if len(self.column_positions) == 1:
+            return row[self.column_positions[0]]
+        return tuple(row[p] for p in self.column_positions)
+
+    def insert(self, row: Sequence[Any], position: int) -> None:
+        self._buckets.setdefault(self.key_of(row), []).append(position)
+
+    def lookup(self, key: Any) -> List[int]:
+        return self._buckets.get(key, [])
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._buckets.values())
+
+
+class SortedIndex:
+    """Ordered index on one column: supports equality, range scans, and
+    full scans in ascending/descending key order.
+
+    NULL keys are excluded (matching SQL index semantics closely enough
+    for this workload: predicates never match NULL).
+    """
+
+    def __init__(self, name: str, column_position: int) -> None:
+        self.name = name
+        self.column_position = column_position
+        self._keys: List[Any] = []
+        self._positions: List[int] = []
+
+    def insert(self, row: Sequence[Any], position: int) -> None:
+        key = row[self.column_position]
+        if key is None:
+            return
+        idx = bisect.bisect_right(self._keys, key)
+        self._keys.insert(idx, key)
+        self._positions.insert(idx, position)
+
+    def bulk_build(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Rebuild from scratch (faster than repeated inserts)."""
+        pairs = [
+            (row[self.column_position], pos)
+            for pos, row in enumerate(rows)
+            if row[self.column_position] is not None
+        ]
+        pairs.sort(key=lambda kv: kv[0])
+        self._keys = [k for k, _ in pairs]
+        self._positions = [p for _, p in pairs]
+
+    def lookup(self, key: Any) -> List[int]:
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._positions[lo:hi]
+
+    def range_scan(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Row positions with key in the given (optionally open) range,
+        in ascending key order."""
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        for i in range(lo, hi):
+            yield self._positions[i]
+
+    def scan(self, descending: bool = False) -> Iterator[int]:
+        """All row positions in key order."""
+        if descending:
+            return iter(self._positions[::-1])
+        return iter(self._positions)
+
+    def distinct_keys(self) -> int:
+        count = 0
+        prev = object()
+        for k in self._keys:
+            if k != prev:
+                count += 1
+                prev = k
+        return count
+
+    def min_key(self) -> Optional[Any]:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Optional[Any]:
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)

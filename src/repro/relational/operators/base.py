@@ -1,0 +1,82 @@
+"""Volcano-style operator interface.
+
+The paper builds on the iterator model of Graefe's Volcano ([17] in the
+paper): every operator supports ``open`` / ``next`` / ``close``, and the
+DGJ family (Section 5.3) adds ``advance_to_next_group``.  ``next``
+returns a row tuple or ``None`` at end of stream.
+
+Every operator carries a :class:`RowLayout` describing its output
+columns, so expressions are bound once at plan-construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.relational.database import ExecStats
+from repro.relational.expressions import Row, RowLayout
+
+
+class Operator:
+    """Base class for all physical operators."""
+
+    layout: RowLayout
+
+    def __init__(self, layout: RowLayout, stats: Optional[ExecStats] = None) -> None:
+        self.layout = layout
+        self.stats = stats if stats is not None else ExecStats()
+
+    # -- Volcano interface ------------------------------------------------
+    def open(self) -> None:
+        raise NotImplementedError
+
+    def next(self) -> Optional[Row]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # -- Convenience -------------------------------------------------------
+    def __iter__(self) -> Iterator[Row]:
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    break
+                yield row
+        finally:
+            self.close()
+
+    def run(self) -> List[Row]:
+        """Open, drain, close; return all rows."""
+        return list(self)
+
+    # -- Explain -------------------------------------------------------------
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> List["Operator"]:
+        return []
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class GroupAware(Operator):
+    """Operators that understand *groups of tuples* (Section 5.3).
+
+    Property (a): group order of the input is preserved in the output.
+    Property (b): :meth:`advance_to_next_group` skips the remainder of
+    the current group.  :meth:`current_group` identifies the group of
+    the most recently returned row.
+    """
+
+    def advance_to_next_group(self) -> None:
+        raise NotImplementedError
+
+    def current_group(self):
+        raise NotImplementedError

@@ -1,0 +1,123 @@
+"""Row-level operators: filter and projection."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.database import ExecStats
+from repro.relational.expressions import Expression, Row, RowLayout, is_truthy
+from repro.relational.operators.base import GroupAware, Operator
+
+
+class Filter(Operator):
+    """Keep rows for which the predicate is true (unknown -> dropped)."""
+
+    def __init__(self, child: Operator, predicate: Expression) -> None:
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self.predicate = predicate
+        self._fn = predicate.bind(child.layout)
+
+    def open(self) -> None:
+        self.child.open()
+
+    def next(self) -> Optional[Row]:
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if is_truthy(self._fn(row)):
+                return row
+
+    def close(self) -> None:
+        self.child.close()
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+
+class GroupFilter(GroupAware):
+    """A filter that forwards the group-awareness of its child — needed
+    because the paper's DGJ plans interleave selections (σ_protein,
+    σ_DNA) with DGJ joins (Figure 15)."""
+
+    def __init__(self, child: GroupAware, predicate: Expression) -> None:
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self.predicate = predicate
+        self._fn = predicate.bind(child.layout)
+
+    def open(self) -> None:
+        self.child.open()
+
+    def next(self) -> Optional[Row]:
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if is_truthy(self._fn(row)):
+                return row
+
+    def advance_to_next_group(self) -> None:
+        self.child.advance_to_next_group()
+
+    def current_group(self):
+        return self.child.current_group()
+
+    def close(self) -> None:
+        self.child.close()
+
+    def describe(self) -> str:
+        return f"GroupFilter({self.predicate!r})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+
+class Project(Operator):
+    """Compute output expressions; names become the output layout with
+    the given alias (default ``""`` for top-level SELECT lists).
+
+    ``entries`` overrides the output layout with explicit (alias, name)
+    pairs — used by the SQL planner to keep the originating table alias
+    on pass-through columns so ``ORDER BY P.ID`` still resolves after
+    projection."""
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[Expression],
+        names: Sequence[str],
+        alias: str = "",
+        entries: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        if len(exprs) != len(names):
+            raise ExecutionError("Project needs one name per expression")
+        layout_entries = list(entries) if entries is not None else [(alias, n) for n in names]
+        super().__init__(RowLayout(layout_entries), child.stats)
+        self.child = child
+        self.exprs = list(exprs)
+        self.names = list(names)
+        self._fns = [e.bind(child.layout) for e in exprs]
+
+    def open(self) -> None:
+        self.child.open()
+
+    def next(self) -> Optional[Row]:
+        row = self.child.next()
+        if row is None:
+            return None
+        return tuple(fn(row) for fn in self._fns)
+
+    def close(self) -> None:
+        self.child.close()
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]

@@ -1,0 +1,346 @@
+"""Regular join operators: hash join, index nested-loops, block
+nested-loops, and sort-merge — the System-R repertoire the optimizer
+enumerates (Section 5.4.1)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.database import ExecStats
+from repro.relational.expressions import Expression, Row, RowLayout, is_truthy
+from repro.relational.index import HashIndex
+from repro.relational.operators.base import Operator
+from repro.relational.operators.scan import table_layout
+from repro.relational.table import Table
+
+
+def _key_fn(positions: Sequence[int]):
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: row[p]
+    ps = tuple(positions)
+    return lambda row: tuple(row[p] for p in ps)
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right (inner) input, probe
+    with the left (outer) input.  Preserves outer order."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key_positions: Sequence[int],
+        right_key_positions: Sequence[int],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        if len(left_key_positions) != len(right_key_positions):
+            raise ExecutionError("join key arity mismatch")
+        super().__init__(left.layout.concat(right.layout), left.stats)
+        self.left = left
+        self.right = right
+        self.left_key = _key_fn(left_key_positions)
+        self.right_key = _key_fn(right_key_positions)
+        self.residual = residual
+        self._residual_fn = residual.bind(self.layout) if residual is not None else None
+        self._hash: Optional[dict] = None
+        self._matches: Optional[Iterator[Row]] = None
+        self._outer_row: Optional[Row] = None
+
+    def open(self) -> None:
+        self._hash = {}
+        for row in self.right:
+            key = self.right_key(row)
+            if key is None or (isinstance(key, tuple) and any(k is None for k in key)):
+                continue  # NULL never joins
+            self._hash.setdefault(key, []).append(row)
+        self.left.open()
+        self._matches = None
+        self._outer_row = None
+
+    def next(self) -> Optional[Row]:
+        if self._hash is None:
+            raise ExecutionError("HashJoin.next() before open()")
+        while True:
+            if self._matches is not None:
+                inner = next(self._matches, None)
+                if inner is not None:
+                    combined = self._outer_row + inner
+                    if self._residual_fn is not None and not is_truthy(
+                        self._residual_fn(combined)
+                    ):
+                        continue
+                    self.stats.rows_joined += 1
+                    return combined
+                self._matches = None
+            outer = self.left.next()
+            if outer is None:
+                return None
+            key = self.left_key(outer)
+            bucket = self._hash.get(key)
+            if bucket:
+                self._outer_row = outer
+                self._matches = iter(bucket)
+
+    def close(self) -> None:
+        self.left.close()
+        self._hash = None
+        self._matches = None
+
+    def describe(self) -> str:
+        return "HashJoin"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer row, probe a hash index on the inner *table*.
+
+    Preserves outer order; this is the regular (non-group-aware) sibling
+    of the paper's IDGJ operator.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        table: Table,
+        alias: str,
+        index: HashIndex,
+        outer_key_positions: Sequence[int],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        super().__init__(outer.layout.concat(table_layout(table, alias)), outer.stats)
+        self.outer = outer
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.outer_key = _key_fn(outer_key_positions)
+        self.residual = residual
+        self._residual_fn = residual.bind(self.layout) if residual is not None else None
+        self._matches: Optional[Iterator[int]] = None
+        self._outer_row: Optional[Row] = None
+        self._opened = False
+
+    def open(self) -> None:
+        self.outer.open()
+        self._matches = None
+        self._outer_row = None
+        self._opened = True
+
+    def next(self) -> Optional[Row]:
+        if not self._opened:
+            raise ExecutionError("IndexNestedLoopJoin.next() before open()")
+        while True:
+            if self._matches is not None:
+                pos = next(self._matches, None)
+                if pos is not None:
+                    combined = self._outer_row + self.table.rows[pos]
+                    if self._residual_fn is not None and not is_truthy(
+                        self._residual_fn(combined)
+                    ):
+                        continue
+                    self.stats.rows_joined += 1
+                    return combined
+                self._matches = None
+            outer = self.outer.next()
+            if outer is None:
+                return None
+            self.stats.index_probes += 1
+            self._outer_row = outer
+            self._matches = iter(self.index.lookup(self.outer_key(outer)))
+
+    def close(self) -> None:
+        self.outer.close()
+        self._matches = None
+        self._opened = False
+
+    def describe(self) -> str:
+        return f"IndexNestedLoopJoin({self.table.schema.name} AS {self.alias})"
+
+    def children(self) -> List[Operator]:
+        return [self.outer]
+
+
+class NestedLoopJoin(Operator):
+    """Block nested-loops over a materialized inner input with an
+    arbitrary (theta) predicate.  The fallback join."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: Optional[Expression] = None,
+    ) -> None:
+        super().__init__(left.layout.concat(right.layout), left.stats)
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self._pred_fn = predicate.bind(self.layout) if predicate is not None else None
+        self._inner_rows: Optional[List[Row]] = None
+        self._outer_row: Optional[Row] = None
+        self._inner_pos = 0
+
+    def open(self) -> None:
+        self._inner_rows = list(self.right)
+        self.left.open()
+        self._outer_row = None
+        self._inner_pos = 0
+
+    def next(self) -> Optional[Row]:
+        if self._inner_rows is None:
+            raise ExecutionError("NestedLoopJoin.next() before open()")
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self.left.next()
+                if self._outer_row is None:
+                    return None
+                self._inner_pos = 0
+            while self._inner_pos < len(self._inner_rows):
+                inner = self._inner_rows[self._inner_pos]
+                self._inner_pos += 1
+                combined = self._outer_row + inner
+                if self._pred_fn is None or is_truthy(self._pred_fn(combined)):
+                    self.stats.rows_joined += 1
+                    return combined
+            self._outer_row = None
+
+    def close(self) -> None:
+        self.left.close()
+        self._inner_rows = None
+
+    def describe(self) -> str:
+        return "NestedLoopJoin"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+
+class SortMergeJoin(Operator):
+    """Equi-join by sorting both inputs on the key and merging.
+
+    Materializes both sides; output is ordered by the join key, which the
+    optimizer records as an interesting order.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key_positions: Sequence[int],
+        right_key_positions: Sequence[int],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        if len(left_key_positions) != len(right_key_positions):
+            raise ExecutionError("join key arity mismatch")
+        super().__init__(left.layout.concat(right.layout), left.stats)
+        self.left = left
+        self.right = right
+        self.left_key = _key_fn(left_key_positions)
+        self.right_key = _key_fn(right_key_positions)
+        self.residual = residual
+        self._residual_fn = residual.bind(self.layout) if residual is not None else None
+        self._output: Optional[Iterator[Row]] = None
+
+    def _merge(self) -> Iterator[Row]:
+        def sortable(key_fn):
+            def safe(row):
+                k = key_fn(row)
+                return k
+            return safe
+
+        left_rows = [r for r in self.left if self.left_key(r) is not None]
+        right_rows = [r for r in self.right if self.right_key(r) is not None]
+        left_rows.sort(key=sortable(self.left_key))
+        right_rows.sort(key=sortable(self.right_key))
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lk, rk = self.left_key(left_rows[i]), self.right_key(right_rows[j])
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(right_rows) and self.right_key(right_rows[j_end]) == lk:
+                    j_end += 1
+                while i < len(left_rows) and self.left_key(left_rows[i]) == lk:
+                    for jj in range(j, j_end):
+                        combined = left_rows[i] + right_rows[jj]
+                        if self._residual_fn is None or is_truthy(self._residual_fn(combined)):
+                            self.stats.rows_joined += 1
+                            yield combined
+                    i += 1
+                j = j_end
+
+    def open(self) -> None:
+        self._output = self._merge()
+
+    def next(self) -> Optional[Row]:
+        if self._output is None:
+            raise ExecutionError("SortMergeJoin.next() before open()")
+        return next(self._output, None)
+
+    def close(self) -> None:
+        self._output = None
+
+    def describe(self) -> str:
+        return "SortMergeJoin"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+
+class HashSemiJoin(Operator):
+    """Hash-based semi/anti join: emit left rows that have (semi) or lack
+    (anti) a key match in the right input.  This is how decorrelated
+    EXISTS / NOT EXISTS subqueries execute — e.g. the ``NOT EXISTS
+    (SELECT 1 FROM ExcpTops ...)`` of the paper's SQL1."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key_positions: Sequence[int],
+        right_key_positions: Sequence[int],
+        negated: bool = False,
+    ) -> None:
+        super().__init__(left.layout, left.stats)
+        self.left = left
+        self.right = right
+        self.left_key = _key_fn(left_key_positions)
+        self.right_key = _key_fn(right_key_positions)
+        self.negated = negated
+        self._keys: Optional[set] = None
+
+    def open(self) -> None:
+        self._keys = set()
+        for row in self.right:
+            key = self.right_key(row)
+            if key is None or (isinstance(key, tuple) and any(k is None for k in key)):
+                continue
+            self._keys.add(key)
+        self.left.open()
+
+    def next(self) -> Optional[Row]:
+        if self._keys is None:
+            raise ExecutionError("HashSemiJoin.next() before open()")
+        while True:
+            row = self.left.next()
+            if row is None:
+                return None
+            found = self.left_key(row) in self._keys
+            if found != self.negated:
+                self.stats.rows_joined += 1
+                return row
+
+    def close(self) -> None:
+        self.left.close()
+        self._keys = None
+
+    def describe(self) -> str:
+        return "HashAntiJoin" if self.negated else "HashSemiJoin"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]

@@ -1,0 +1,195 @@
+"""Scan operators: sequential, hash-index, and ordered-index scans."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.relational.database import ExecStats
+from repro.relational.expressions import Row, RowLayout
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.operators.base import GroupAware, Operator
+from repro.relational.table import Table
+
+
+def table_layout(table: Table, alias: str) -> RowLayout:
+    return RowLayout([(alias, c.name) for c in table.schema.columns])
+
+
+class SeqScan(Operator):
+    """Full scan of a table's heap."""
+
+    def __init__(self, table: Table, alias: str, stats: Optional[ExecStats] = None) -> None:
+        super().__init__(table_layout(table, alias), stats)
+        self.table = table
+        self.alias = alias
+        self._iter: Optional[Iterator[Row]] = None
+
+    def open(self) -> None:
+        self._iter = iter(self.table.rows)
+
+    def next(self) -> Optional[Row]:
+        if self._iter is None:
+            raise ExecutionError("SeqScan.next() before open()")
+        row = next(self._iter, None)
+        if row is not None:
+            self.stats.rows_scanned += 1
+        return row
+
+    def close(self) -> None:
+        self._iter = None
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.schema.name} AS {self.alias})"
+
+
+class HashIndexScan(Operator):
+    """Probe a hash index with a constant key."""
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        index: HashIndex,
+        key: Any,
+        stats: Optional[ExecStats] = None,
+    ) -> None:
+        super().__init__(table_layout(table, alias), stats)
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.key = key
+        self._positions: Optional[Iterator[int]] = None
+
+    def open(self) -> None:
+        self.stats.index_probes += 1
+        self._positions = iter(self.index.lookup(self.key))
+
+    def next(self) -> Optional[Row]:
+        if self._positions is None:
+            raise ExecutionError("HashIndexScan.next() before open()")
+        pos = next(self._positions, None)
+        if pos is None:
+            return None
+        self.stats.rows_scanned += 1
+        return self.table.rows[pos]
+
+    def close(self) -> None:
+        self._positions = None
+
+    def describe(self) -> str:
+        return f"HashIndexScan({self.table.schema.name} AS {self.alias}, key={self.key!r})"
+
+
+class OrderedIndexScan(GroupAware):
+    """Full scan in sorted-index key order (asc or desc).
+
+    This is the "idxScan TopoInfo (score order)" leaf of the paper's DGJ
+    plans (Figure 15).  It is group-aware with each *key run* — or, when
+    ``group_positions`` is given, each distinct combination of those
+    column positions — forming a group.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        index: SortedIndex,
+        descending: bool = False,
+        group_positions: Optional[Sequence[int]] = None,
+        stats: Optional[ExecStats] = None,
+    ) -> None:
+        super().__init__(table_layout(table, alias), stats)
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.descending = descending
+        self.group_positions = (
+            tuple(group_positions) if group_positions is not None else (index.column_position,)
+        )
+        self._positions: Optional[Iterator[int]] = None
+        self._current_group: Any = None
+        self._pending: Optional[Row] = None
+
+    def _group_of(self, row: Row) -> Any:
+        if len(self.group_positions) == 1:
+            return row[self.group_positions[0]]
+        return tuple(row[p] for p in self.group_positions)
+
+    def open(self) -> None:
+        self._positions = self.index.scan(descending=self.descending)
+        self._current_group = None
+        self._pending = None
+
+    def next(self) -> Optional[Row]:
+        if self._positions is None:
+            raise ExecutionError("OrderedIndexScan.next() before open()")
+        if self._pending is not None:
+            row, self._pending = self._pending, None
+            self._current_group = self._group_of(row)
+            self.stats.rows_scanned += 1
+            return row
+        pos = next(self._positions, None)
+        if pos is None:
+            return None
+        row = self.table.rows[pos]
+        self._current_group = self._group_of(row)
+        self.stats.rows_scanned += 1
+        return row
+
+    def advance_to_next_group(self) -> None:
+        """Skip forward until the group key changes; the first row of the
+        next group is buffered for the following ``next()`` call."""
+        if self._positions is None:
+            raise ExecutionError("advance_to_next_group() before open()")
+        self._pending = None
+        if self._current_group is None:
+            return
+        self.stats.groups_skipped += 1
+        while True:
+            pos = next(self._positions, None)
+            if pos is None:
+                return
+            row = self.table.rows[pos]
+            self.stats.rows_scanned += 1
+            if self._group_of(row) != self._current_group:
+                self._pending = row
+                return
+
+    def current_group(self) -> Any:
+        return self._current_group
+
+    def close(self) -> None:
+        self._positions = None
+        self._pending = None
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return (
+            f"OrderedIndexScan({self.table.schema.name} AS {self.alias}, "
+            f"key order {direction})"
+        )
+
+
+class RowsSource(Operator):
+    """Stream a pre-materialized row list (used for VALUES-like inputs
+    and by operators that re-scan a buffered input)."""
+
+    def __init__(self, rows: List[Row], layout: RowLayout, stats: Optional[ExecStats] = None) -> None:
+        super().__init__(layout, stats)
+        self.rows = rows
+        self._iter: Optional[Iterator[Row]] = None
+
+    def open(self) -> None:
+        self._iter = iter(self.rows)
+
+    def next(self) -> Optional[Row]:
+        if self._iter is None:
+            raise ExecutionError("RowsSource.next() before open()")
+        return next(self._iter, None)
+
+    def close(self) -> None:
+        self._iter = None
+
+    def describe(self) -> str:
+        return f"RowsSource({len(self.rows)} rows)"

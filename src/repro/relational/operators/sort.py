@@ -1,0 +1,248 @@
+"""Sort, top-N, distinct, union, and limit operators."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.database import ExecStats
+from repro.relational.expressions import Expression, Row, RowLayout
+from repro.relational.operators.base import Operator
+
+# A sort key: (expression, descending?)
+SortKey = Tuple[Expression, bool]
+
+
+class _OrderWrapper:
+    """Total-order wrapper handling mixed sort directions.
+
+    NULLs sort last regardless of direction (a simplification over
+    DB2's "NULL is highest"; topology scores are never NULL, so the
+    paper's queries cannot observe the difference)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Tuple[Tuple[bool, Any, bool], ...]) -> None:
+        # per key: (is_null, value, descending)
+        self.values = values
+
+    def __lt__(self, other: "_OrderWrapper") -> bool:
+        for (a_null, a, desc), (b_null, b, _) in zip(self.values, other.values):
+            if a_null or b_null:
+                if a_null == b_null:
+                    continue
+                return b_null  # non-null sorts before null in asc terms
+            if a == b:
+                continue
+            return (a > b) if desc else (a < b)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderWrapper):
+            return NotImplemented
+        return all(
+            a_null == b_null and (a_null or a == b)
+            for (a_null, a, _), (b_null, b, _) in zip(self.values, other.values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - wrappers are transient
+        return hash(tuple((n, v) for n, v, _ in self.values))
+
+
+def _make_sort_key(keys: Sequence[SortKey], layout: RowLayout):
+    fns = [(expr.bind(layout), desc) for expr, desc in keys]
+
+    def key(row: Row) -> _OrderWrapper:
+        values = []
+        for fn, desc in fns:
+            v = fn(row)
+            values.append((v is None, v, desc))
+        return _OrderWrapper(tuple(values))
+
+    return key
+
+
+class Sort(Operator):
+    """Full materializing sort."""
+
+    def __init__(self, child: Operator, keys: Sequence[SortKey]) -> None:
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self.keys = list(keys)
+        self._key_fn = _make_sort_key(self.keys, child.layout)
+        self._iter: Optional[Iterator[Row]] = None
+
+    def open(self) -> None:
+        rows = list(self.child)
+        rows.sort(key=self._key_fn)
+        self._iter = iter(rows)
+
+    def next(self) -> Optional[Row]:
+        if self._iter is None:
+            raise ExecutionError("Sort.next() before open()")
+        return next(self._iter, None)
+
+    def close(self) -> None:
+        self._iter = None
+
+    def describe(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+
+class TopN(Operator):
+    """Heap-based ORDER BY ... FETCH FIRST n ROWS ONLY."""
+
+    def __init__(self, child: Operator, keys: Sequence[SortKey], n: int) -> None:
+        if n < 0:
+            raise ExecutionError("TopN needs n >= 0")
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self.keys = list(keys)
+        self.n = n
+        self._key_fn = _make_sort_key(self.keys, child.layout)
+        self._iter: Optional[Iterator[Row]] = None
+
+    def open(self) -> None:
+        if self.n == 0:
+            self._iter = iter(())
+            return
+        counter = itertools.count()
+        heap: List[Tuple[Any, int, Row]] = []
+        rows = list(self.child)
+        decorated = [(self._key_fn(row), next(counter), row) for row in rows]
+        smallest = heapq.nsmallest(self.n, decorated, key=lambda t: (t[0], t[1]))
+        self._iter = iter([row for _, _, row in smallest])
+
+    def next(self) -> Optional[Row]:
+        if self._iter is None:
+            raise ExecutionError("TopN.next() before open()")
+        return next(self._iter, None)
+
+    def close(self) -> None:
+        self._iter = None
+
+    def describe(self) -> str:
+        return f"TopN(n={self.n})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+
+class Distinct(Operator):
+    """Duplicate elimination on the whole row (hash-based, preserves
+    first-seen order)."""
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self._seen: Optional[set] = None
+
+    def open(self) -> None:
+        self.child.open()
+        self._seen = set()
+
+    def next(self) -> Optional[Row]:
+        if self._seen is None:
+            raise ExecutionError("Distinct.next() before open()")
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if row not in self._seen:
+                self._seen.add(row)
+                return row
+
+    def close(self) -> None:
+        self.child.close()
+        self._seen = None
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+
+class UnionAll(Operator):
+    """Concatenate children (arity-checked); output layout is the first
+    child's."""
+
+    def __init__(self, children: Sequence[Operator]) -> None:
+        if not children:
+            raise ExecutionError("UnionAll needs at least one input")
+        arity = children[0].layout.arity
+        for child in children[1:]:
+            if child.layout.arity != arity:
+                raise ExecutionError("UNION inputs must have equal arity")
+        super().__init__(children[0].layout, children[0].stats)
+        self._children = list(children)
+        self._current = 0
+        self._opened = False
+
+    def open(self) -> None:
+        self._current = 0
+        self._children[0].open()
+        self._opened = True
+
+    def next(self) -> Optional[Row]:
+        if not self._opened:
+            raise ExecutionError("UnionAll.next() before open()")
+        while self._current < len(self._children):
+            row = self._children[self._current].next()
+            if row is not None:
+                return row
+            self._children[self._current].close()
+            self._current += 1
+            if self._current < len(self._children):
+                self._children[self._current].open()
+        return None
+
+    def close(self) -> None:
+        if self._opened and self._current < len(self._children):
+            self._children[self._current].close()
+        self._opened = False
+
+    def describe(self) -> str:
+        return f"UnionAll({len(self._children)} inputs)"
+
+    def children(self) -> List[Operator]:
+        return list(self._children)
+
+
+class Limit(Operator):
+    """FETCH FIRST n ROWS ONLY without ordering."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        if n < 0:
+            raise ExecutionError("Limit needs n >= 0")
+        super().__init__(child.layout, child.stats)
+        self.child = child
+        self.n = n
+        self._emitted = 0
+
+    def open(self) -> None:
+        self.child.open()
+        self._emitted = 0
+
+    def next(self) -> Optional[Row]:
+        if self._emitted >= self.n:
+            return None
+        row = self.child.next()
+        if row is None:
+            return None
+        self._emitted += 1
+        return row
+
+    def close(self) -> None:
+        self.child.close()
+
+    def describe(self) -> str:
+        return f"Limit(n={self.n})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]

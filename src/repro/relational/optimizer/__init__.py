@@ -1,0 +1,44 @@
+"""Cost-based optimization: System-R join enumeration plus the paper's
+DGJ cost model (Section 5.4)."""
+
+from repro.relational.optimizer.dgj_cost import (
+    DgjLevel,
+    GroupParameters,
+    expected_topk_cost,
+    group_parameters,
+    hdgj_stack_cost,
+    idgj_stack_cost,
+    probe_costs,
+    result_probabilities,
+)
+from repro.relational.optimizer.logical import (
+    BaseRelation,
+    EquiJoinEdge,
+    SPJBlock,
+    build_block,
+    equi_edges,
+)
+from repro.relational.optimizer.system_r import (
+    OrderSpec,
+    PhysicalCandidate,
+    SystemROptimizer,
+)
+
+__all__ = [
+    "BaseRelation",
+    "DgjLevel",
+    "EquiJoinEdge",
+    "GroupParameters",
+    "OrderSpec",
+    "PhysicalCandidate",
+    "SPJBlock",
+    "SystemROptimizer",
+    "build_block",
+    "equi_edges",
+    "expected_topk_cost",
+    "group_parameters",
+    "hdgj_stack_cost",
+    "idgj_stack_cost",
+    "probe_costs",
+    "result_probabilities",
+]

@@ -1,0 +1,253 @@
+"""The paper's cost model for stacks of DGJ operators (Section 5.4.2,
+5.4.3 and Appendix A).
+
+Given a stack of ``n`` DGJ joins processing ``m`` groups (topologies) in
+score order, with ``Card_i`` outer tuples per group, the model predicts
+the expected cost of producing the top ``k`` distinct groups:
+
+* **Lemma 1** — ``x_i``: probability that a tuple entering operator
+  ``opr_i`` eventually yields a plan result.
+* **Lemma 2** — ``delta_i``: expected index-probe cost charged for a
+  tuple entering ``opr_i`` that does not yield a result.
+* **Theorem 2** — ``np_i = (1 - x_1)^{Card_i}``: probability a group
+  produces no result at all.
+* **Theorem 3** — ``nc_i = np_i * Card_i * delta_1``: expected cost
+  contribution of exhausting a group fruitlessly.
+* **Theorem 4** — ``ec_i``: expected cost of reaching the group's first
+  result.
+* **Theorem 1** — a dynamic program combining these into
+  ``E[Z^k_{1:m}]``, the expected cost of finding ``k`` results over
+  groups ``1..m``.
+
+Two corrections to the paper's formulas as printed (both are evident
+typos; the proofs' prose states the intended quantities):
+
+1. Lemma 1 prints ``x_{n+1} = 0``; a tuple that survives the last join
+   *is* a result, so the base case must be ``x_{n+1} = 1`` (with 0 the
+   recurrence collapses to all-zero).
+2. The binomial probabilities omit the binomial coefficient
+   ``C(s_i N_i, j)``; we use the coefficient-free closed forms of the
+   expectations, which is what the proofs actually manipulate.
+3. Theorem 4 prints ``rho_l`` where its own proof text says "the
+   probability that the jth tuple is a result", i.e. ``x_l``.
+
+These choices are validated against Monte-Carlo simulation of plan
+execution in ``tests/relational/test_dgj_cost_montecarlo.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DgjLevel:
+    """Statistics for the i-th DGJ join in the stack (Section 5.4.3).
+
+    relation_rows
+        ``N_i`` — cardinality of the inner relation joined at this level.
+    probe_cost
+        ``I_i`` — cost of one index probe on the inner relation.
+    local_selectivity
+        ``rho_i`` — selectivity of the local predicate on the inner
+        relation (fraction of joined tuples surviving the filter).
+    join_selectivity
+        ``s_i`` — join selectivity; ``s_i * N_i`` is the expected
+        fan-out of one outer tuple into the inner relation.
+    """
+
+    relation_rows: float
+    probe_cost: float
+    local_selectivity: float
+    join_selectivity: float
+
+    @property
+    def fanout(self) -> float:
+        """Expected number of inner tuples joined per outer tuple."""
+        return max(0.0, self.join_selectivity * self.relation_rows)
+
+    @property
+    def surviving_fanout(self) -> float:
+        """Fan-out surviving the local predicate."""
+        return self.fanout * self.local_selectivity
+
+
+def result_probabilities(levels: Sequence[DgjLevel]) -> List[float]:
+    """Lemma 1: ``x_i`` for i = 1..n+1 (returned list is 1-indexed via
+    position 0 = x_1, ..., position n = x_{n+1} = 1).
+
+    We use the expectation-level closed form: an outer tuple at level i
+    joins with ``fanout_i`` inner tuples; each survives the local filter
+    with probability ``rho_i`` and then is a result with probability
+    ``x_{i+1}``, independently.  Hence
+    ``x_i = 1 - (1 - rho_i * x_{i+1}) ^ fanout_i``.
+    """
+    n = len(levels)
+    xs = [0.0] * (n + 1)
+    xs[n] = 1.0  # x_{n+1}: a tuple past the last join is a result
+    for i in range(n - 1, -1, -1):
+        level = levels[i]
+        p_child = level.local_selectivity * xs[i + 1]
+        p_child = min(1.0, max(0.0, p_child))
+        fanout = level.fanout
+        if fanout <= 0.0 or p_child <= 0.0:
+            xs[i] = 0.0
+        else:
+            xs[i] = 1.0 - (1.0 - p_child) ** fanout
+    return xs
+
+
+def probe_costs(levels: Sequence[DgjLevel]) -> List[float]:
+    """Lemma 2: ``delta_i`` for i = 1..n+1 (position n = delta_{n+1} = 0).
+
+    ``delta_i = I_i + rho_i * fanout_i * delta_{i+1}`` — one probe at
+    this level plus the expected surviving fan-out each recursively
+    charged at the next level.
+    """
+    n = len(levels)
+    deltas = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        level = levels[i]
+        deltas[i] = level.probe_cost + level.surviving_fanout * deltas[i + 1]
+    return deltas
+
+
+def _geometric_sums(x: float, h: float) -> Tuple[float, float]:
+    """Closed forms used by Theorem 4, for q = 1 - x:
+
+    ``S0 = sum_{j=1..h} x q^{j-1}        = 1 - q^h``
+    ``S1 = sum_{j=1..h} x q^{j-1} (j-1)  = (q - q^h (x h + q)) / x``
+
+    ``h`` may be fractional (expected fan-outs are expectations).
+    """
+    if x <= 0.0 or h <= 0.0:
+        return 0.0, 0.0
+    if x >= 1.0:
+        return 1.0, 0.0
+    q = 1.0 - x
+    qh = q**h
+    s0 = 1.0 - qh
+    s1 = (q - qh * (x * h + q)) / x
+    return s0, max(0.0, s1)
+
+
+def _ec_level(
+    levels: Sequence[DgjLevel],
+    xs: Sequence[float],
+    deltas: Sequence[float],
+    level_index: int,
+    h: float,
+) -> float:
+    """``EC^{l:n}_h`` (Theorem 4): expected cost for the stack starting
+    at level ``l`` (0-based ``level_index``) to find the first result
+    among ``h`` input tuples."""
+    n = len(levels)
+    if level_index >= n or h <= 0.0:
+        return 0.0
+    level = levels[level_index]
+    x_l = xs[level_index]
+    s0, s1 = _geometric_sums(x_l, h)
+    downstream = _ec_level(levels, xs, deltas, level_index + 1, level.fanout)
+    return s1 * deltas[level_index] + s0 * (level.probe_cost + downstream)
+
+
+@dataclass(frozen=True)
+class GroupParameters:
+    """Per-group quantities of Section 5.4.2: ``np``, ``nc``, ``ec``."""
+
+    no_result_probability: float
+    no_result_cost: float
+    first_result_cost: float
+
+
+def group_parameters(
+    levels: Sequence[DgjLevel],
+    cardinalities: Sequence[float],
+) -> List[GroupParameters]:
+    """Theorems 2-4: compute (np_i, nc_i, ec_i) for each group from the
+    stack statistics and the group cardinalities ``Card_i``."""
+    xs = result_probabilities(levels)
+    deltas = probe_costs(levels)
+    x1 = xs[0] if levels else 1.0
+    delta1 = deltas[0] if levels else 0.0
+    params: List[GroupParameters] = []
+    for card in cardinalities:
+        card = max(0.0, card)
+        np_i = (1.0 - x1) ** card if card > 0 else 1.0
+        nc_i = np_i * card * delta1
+        ec_i = _ec_level(levels, xs, deltas, 0, card)
+        params.append(GroupParameters(np_i, nc_i, ec_i))
+    return params
+
+
+def expected_topk_cost(
+    params: Sequence[GroupParameters],
+    k: int,
+) -> float:
+    """Theorem 1: dynamic program for ``E[Z^k_{1:m}]``.
+
+    ``E[Z^k_{l:m}] = ec_l + nc_l + (1 - np_l) E[Z^{k-1}_{l+1:m}]
+    + np_l E[Z^k_{l+1:m}]``, with ``E = 0`` once ``k = 0`` or ``l > m``.
+    """
+    if k <= 0:
+        return 0.0
+    m = len(params)
+    # previous[l] = E[Z^{kk-1}_{l+1:m}] during the sweep.
+    previous = [0.0] * (m + 1)
+    current = [0.0] * (m + 1)
+    for _kk in range(1, k + 1):
+        for l in range(m - 1, -1, -1):
+            p = params[l]
+            current[l] = (
+                p.first_result_cost
+                + p.no_result_cost
+                + (1.0 - p.no_result_probability) * previous[l + 1]
+                + p.no_result_probability * current[l + 1]
+            )
+        previous, current = current, previous
+        for i in range(m + 1):
+            current[i] = 0.0
+    return previous[0]
+
+
+def idgj_stack_cost(
+    levels: Sequence[DgjLevel],
+    cardinalities: Sequence[float],
+    k: int,
+) -> float:
+    """End-to-end expected cost of an IDGJ stack answering a top-k
+    distinct-group query — the quantity the optimizer compares against
+    the regular plan's cost (Section 5.4)."""
+    params = group_parameters(levels, cardinalities)
+    return expected_topk_cost(params, k)
+
+
+def hdgj_stack_cost(
+    levels: Sequence[DgjLevel],
+    cardinalities: Sequence[float],
+    k: int,
+    scan_row_cost: float = 1.0,
+) -> float:
+    """The "similar extension to HDGJ" (Section 5.4.2).
+
+    HDGJ re-scans each inner relation once per processed group instead
+    of index-probing per tuple.  We model the cost of processing group i
+    as: materializing its ``Card_i`` outer tuples plus, per level, a
+    scan of the inner relation — a full scan when the group yields no
+    result, and an expected half scan when it does (the first witness is
+    uniformly positioned).  The Theorem-1 dynamic program is reused with
+    ``ec``/``nc`` replaced accordingly.
+    """
+    xs = result_probabilities(levels)
+    x1 = xs[0] if levels else 1.0
+    full_scan = sum(level.relation_rows * scan_row_cost for level in levels)
+    params: List[GroupParameters] = []
+    for card in cardinalities:
+        card = max(0.0, card)
+        np_i = (1.0 - x1) ** card if card > 0 else 1.0
+        nc_i = np_i * (card + full_scan)
+        ec_i = (1.0 - np_i) * (card + 0.5 * full_scan)
+        params.append(GroupParameters(np_i, nc_i, ec_i))
+    return expected_topk_cost(params, k)

@@ -1,0 +1,101 @@
+"""Table schemas: ordered typed columns with an optional primary key."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a type, and a nullability flag."""
+
+    name: str
+    dtype: DataType
+    not_null: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+class TableSchema:
+    """An ordered list of columns plus an optional primary-key column.
+
+    Column lookup is case-insensitive (SQL style); stored names keep
+    their declared casing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[str] = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        lowered = [c.name.lower() for c in columns]
+        if len(set(lowered)) != len(lowered):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        self._index: Dict[str, int] = {low: i for i, low in enumerate(lowered)}
+        if primary_key is not None:
+            if primary_key.lower() not in self._index:
+                raise SchemaError(
+                    f"primary key {primary_key!r} is not a column of {name!r}"
+                )
+        self.primary_key = primary_key
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_position(name)]
+
+    def validate_row(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Type-check a full row (positional) and return it as a tuple."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r} expects {self.arity} values, got {len(values)}"
+            )
+        out = []
+        for column, value in zip(self.columns, values):
+            checked = column.dtype.validate(value)
+            if checked is None and column.not_null:
+                raise SchemaError(
+                    f"column {self.name}.{column.name} is NOT NULL but got NULL"
+                )
+            out.append(checked)
+        return tuple(out)
+
+    def row_from_mapping(self, mapping: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Build a positional row from a column->value mapping; missing
+        columns become NULL."""
+        lowered = {k.lower(): v for k, v in mapping.items()}
+        unknown = set(lowered) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown columns for {self.name!r}: {sorted(unknown)}")
+        values = [lowered.get(c.name.lower()) for c in self.columns]
+        return self.validate_row(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

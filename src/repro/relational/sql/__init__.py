@@ -1,0 +1,28 @@
+"""SQL front end: tokenizer, parser, planner, engine."""
+
+from repro.relational.sql.ast import (
+    ExistsExpr,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    TableRef,
+)
+from repro.relational.sql.parser import parse
+from repro.relational.sql.planner import Engine, Planner, QueryResult
+from repro.relational.sql.tokens import Token, tokenize
+
+__all__ = [
+    "Engine",
+    "ExistsExpr",
+    "OrderItem",
+    "Planner",
+    "Query",
+    "QueryResult",
+    "SelectCore",
+    "SelectItem",
+    "TableRef",
+    "Token",
+    "parse",
+    "tokenize",
+]

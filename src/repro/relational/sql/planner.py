@@ -1,0 +1,496 @@
+"""SQL planner: bind names, decorrelate EXISTS, optimize, assemble.
+
+The pipeline for one statement:
+
+1. expand ``*`` items and qualify every unqualified column reference
+   (binder role),
+2. split WHERE into conjuncts; pull out ``[NOT] EXISTS`` conjuncts,
+3. optimize the select-project-join block with the System-R enumerator
+   (exploiting an ORDER BY column as a desired interesting order),
+4. decorrelate each EXISTS into a hash semi/anti join on top (the
+   paper's SQL1/SQL5 ``NOT EXISTS`` over ExcpTops takes this path),
+5. add projection, DISTINCT, UNION, ORDER BY (skipped when the chosen
+   plan already delivers the order), and FETCH FIRST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SqlBindError, SqlError
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Contains,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Neg,
+    Not,
+    Or,
+    Row,
+    RowLayout,
+    as_equijoin,
+    conjoin,
+    referenced_aliases,
+    split_conjuncts,
+)
+from repro.relational.operators import (
+    Distinct,
+    Filter,
+    HashSemiJoin,
+    Limit,
+    Operator,
+    Project,
+    RowsSource,
+    Sort,
+    TopN,
+    UnionAll,
+)
+from repro.relational.optimizer.logical import SPJBlock, build_block
+from repro.relational.optimizer.system_r import OrderSpec, PhysicalCandidate, SystemROptimizer
+from repro.relational.sql.ast import ExistsExpr, OrderItem, Query, SelectCore, SelectItem
+from repro.relational.sql.parser import parse
+from repro.relational.statistics import StatsCatalog
+
+
+@dataclass
+class QueryResult:
+    """Executed statement output: column names plus row tuples."""
+
+    columns: List[str]
+    rows: List[Row]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        return self.rows[0][0] if self.rows else None
+
+    def column(self, name: str) -> List[Any]:
+        idx = [c.lower() for c in self.columns].index(name.lower())
+        return [row[idx] for row in self.rows]
+
+
+def _rewrite(expr: Expression, fn) -> Expression:
+    """Rebuild an expression tree bottom-up, applying ``fn`` to each
+    node after its children were rebuilt."""
+    if isinstance(expr, And):
+        node: Expression = And([_rewrite(i, fn) for i in expr.items])
+    elif isinstance(expr, Or):
+        node = Or([_rewrite(i, fn) for i in expr.items])
+    elif isinstance(expr, Not):
+        node = Not(_rewrite(expr.item, fn))
+    elif isinstance(expr, Comparison):
+        node = Comparison(expr.op, _rewrite(expr.left, fn), _rewrite(expr.right, fn))
+    elif isinstance(expr, Contains):
+        node = Contains(_rewrite(expr.haystack, fn), _rewrite(expr.needle, fn))
+    elif isinstance(expr, Like):
+        node = Like(_rewrite(expr.value, fn), expr.pattern, expr.negated)
+    elif isinstance(expr, InList):
+        node = InList(_rewrite(expr.value, fn), sorted(expr.options, key=repr), expr.negated)
+    elif isinstance(expr, IsNull):
+        node = IsNull(_rewrite(expr.value, fn), expr.negated)
+    elif isinstance(expr, Arith):
+        node = Arith(expr.op, _rewrite(expr.left, fn), _rewrite(expr.right, fn))
+    elif isinstance(expr, Neg):
+        node = Neg(_rewrite(expr.value, fn))
+    else:
+        node = expr
+    return fn(node)
+
+
+class Planner:
+    """Builds executable operator trees for parsed queries."""
+
+    def __init__(
+        self,
+        database: Database,
+        stats: Optional[StatsCatalog] = None,
+    ) -> None:
+        self.database = database
+        self.stats = stats if stats is not None else StatsCatalog(database)
+        self.optimizer = SystemROptimizer(database, self.stats)
+
+    # ------------------------------------------------------------------
+    # Binding helpers
+    # ------------------------------------------------------------------
+    def _alias_schemas(self, core: SelectCore) -> Dict[str, Any]:
+        seen: Dict[str, Any] = {}
+        for ref in core.tables:
+            if not self.database.has_table(ref.table):
+                raise SqlBindError(f"unknown table {ref.table!r}")
+            alias = ref.alias.lower()
+            if alias in seen:
+                raise SqlBindError(f"duplicate alias {alias!r}")
+            seen[alias] = self.database.table(ref.table).schema
+        return seen
+
+    def _qualify(
+        self,
+        expr: Expression,
+        alias_schemas: Dict[str, Any],
+        outer_schemas: Optional[Dict[str, Any]] = None,
+    ) -> Expression:
+        """Resolve unqualified column references; verify qualified ones.
+        References not resolvable locally but resolvable in
+        ``outer_schemas`` are left qualified for correlation handling."""
+
+        def fix(node: Expression) -> Expression:
+            if isinstance(node, ExistsExpr):
+                return node  # handled by the planner separately
+            if not isinstance(node, ColumnRef):
+                return node
+            if node.qualifier is not None:
+                if node.qualifier in alias_schemas:
+                    if not alias_schemas[node.qualifier].has_column(node.name):
+                        raise SqlBindError(f"unknown column {node.qualifier}.{node.name}")
+                    return node
+                if outer_schemas is not None and node.qualifier in outer_schemas:
+                    if not outer_schemas[node.qualifier].has_column(node.name):
+                        raise SqlBindError(f"unknown column {node.qualifier}.{node.name}")
+                    return node
+                raise SqlBindError(f"unknown alias {node.qualifier!r}")
+            owners = [a for a, s in alias_schemas.items() if s.has_column(node.name)]
+            if len(owners) == 1:
+                return ColumnRef(owners[0], node.name)
+            if len(owners) > 1:
+                raise SqlBindError(f"ambiguous column {node.name!r}")
+            if outer_schemas is not None:
+                outer_owners = [
+                    a for a, s in outer_schemas.items() if s.has_column(node.name)
+                ]
+                if len(outer_owners) == 1:
+                    return ColumnRef(outer_owners[0], node.name)
+                if len(outer_owners) > 1:
+                    raise SqlBindError(f"ambiguous column {node.name!r}")
+            raise SqlBindError(f"unknown column {node.name!r}")
+
+        return _rewrite(expr, fix)
+
+    # ------------------------------------------------------------------
+    # Core planning
+    # ------------------------------------------------------------------
+    def _plan_core(
+        self,
+        core: SelectCore,
+        desired_order: Optional[OrderSpec] = None,
+    ) -> Tuple[Operator, List[Tuple[str, str]], List[Expression], Optional[OrderSpec]]:
+        """Plan one SELECT core.
+
+        Returns (operator *before projection*, projected entries as
+        (alias, name), projected expressions, the block order actually
+        delivered)."""
+        alias_schemas = self._alias_schemas(core)
+        conjuncts: List[Expression] = []
+        exists_nodes: List[ExistsExpr] = []
+        for conjunct in split_conjuncts(core.where):
+            if isinstance(conjunct, ExistsExpr):
+                exists_nodes.append(conjunct)
+                continue
+            if _contains_exists(conjunct):
+                raise SqlError("EXISTS is only supported as a top-level conjunct")
+            conjuncts.append(self._qualify(conjunct, alias_schemas))
+
+        block = build_block(
+            [(t.table, t.alias) for t in core.tables],
+            conjuncts,
+        )
+        candidate = self.optimizer.optimize(block, desired_order=desired_order)
+        op = candidate.build()
+        delivered = candidate.order
+        for exists in exists_nodes:
+            op = self._apply_exists(op, exists, alias_schemas)
+
+        entries, exprs = self._projection(core, op.layout, alias_schemas)
+        return op, entries, exprs, delivered
+
+    def _projection(
+        self,
+        core: SelectCore,
+        layout: RowLayout,
+        alias_schemas: Dict[str, Any],
+    ) -> Tuple[List[Tuple[str, str]], List[Expression]]:
+        entries: List[Tuple[str, str]] = []
+        exprs: List[Expression] = []
+        for i, item in enumerate(core.items):
+            if item.star:
+                for alias, name in layout.entries:
+                    entries.append((alias, name))
+                    exprs.append(ColumnRef(alias, name))
+                continue
+            expr = self._qualify(item.expr, alias_schemas)
+            if item.alias is not None:
+                name = item.alias.lower()
+            elif isinstance(expr, ColumnRef):
+                name = expr.name
+            else:
+                name = f"col{i + 1}"
+            alias = expr.qualifier if isinstance(expr, ColumnRef) else ""
+            entries.append((alias or "", name))
+            exprs.append(expr)
+        if not entries:
+            raise SqlError("empty select list")
+        return entries, exprs
+
+    def _apply_exists(
+        self,
+        op: Operator,
+        exists: ExistsExpr,
+        outer_schemas: Dict[str, Any],
+    ) -> Operator:
+        sub = exists.subquery
+        sub_schemas = self._alias_schemas(sub)
+        overlap = set(sub_schemas) & set(outer_schemas)
+        if overlap:
+            raise SqlError(f"subquery reuses outer aliases: {sorted(overlap)}")
+
+        local: List[Expression] = []
+        corr: List[Tuple[ColumnRef, ColumnRef]] = []  # (outer ref, inner ref)
+        for conjunct in split_conjuncts(sub.where):
+            if isinstance(conjunct, ExistsExpr) or _contains_exists(conjunct):
+                raise SqlError("nested EXISTS inside EXISTS is not supported")
+            qualified = self._qualify(conjunct, sub_schemas, outer_schemas)
+            refs = referenced_aliases(qualified)
+            outer_refs = refs & set(outer_schemas)
+            if not outer_refs:
+                local.append(qualified)
+                continue
+            pair = as_equijoin(qualified)
+            if pair is None:
+                raise SqlError(
+                    "correlated subquery predicates must be equality comparisons"
+                )
+            left, right = pair
+            if left.qualifier in outer_schemas and right.qualifier in sub_schemas:
+                corr.append((left, right))
+            elif right.qualifier in outer_schemas and left.qualifier in sub_schemas:
+                corr.append((right, left))
+            else:
+                raise SqlError("correlation must relate an outer and an inner column")
+
+        sub_block = build_block([(t.table, t.alias) for t in sub.tables], local)
+        sub_candidate = self.optimizer.optimize(sub_block)
+
+        if not corr:
+            # Uncorrelated: evaluate once; the result is a constant.
+            sub_op = Limit(sub_candidate.build(), 1)
+            self.database.stats.subqueries_run += 1
+            non_empty = bool(sub_op.run())
+            keep = non_empty != exists.negated
+            if keep:
+                return op
+            return RowsSource([], op.layout, self.database.stats)
+
+        sub_op = sub_candidate.build()
+        left_positions = [op.layout.position(o.qualifier, o.name) for o, _ in corr]
+        right_positions = [sub_op.layout.position(i.qualifier, i.name) for _, i in corr]
+        self.database.stats.subqueries_run += 1
+        return HashSemiJoin(op, sub_op, left_positions, right_positions, exists.negated)
+
+    # ------------------------------------------------------------------
+    # Statement planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> Tuple[Operator, List[str]]:
+        """Build the executable operator tree; returns (plan, column
+        names)."""
+        single = len(query.cores) == 1
+        desired = self._desired_order(query) if single else None
+
+        planned_cores = []
+        for core in query.cores:
+            op, entries, exprs, delivered = self._plan_core(
+                core, desired_order=desired if core is query.cores[0] else None
+            )
+            planned_cores.append((core, op, entries, exprs, delivered))
+
+        first_entries = planned_cores[0][2]
+        columns = [name for _, name in first_entries]
+
+        if single:
+            core, op, entries, exprs, delivered = planned_cores[0]
+            return self._assemble_single(query, core, op, entries, exprs, delivered), columns
+
+        # UNION: project every core to the first core's arity.
+        projected: List[Operator] = []
+        arity = len(first_entries)
+        for core, op, entries, exprs, _ in planned_cores:
+            if len(exprs) != arity:
+                raise SqlError("UNION inputs must have the same number of columns")
+            projected.append(
+                Project(op, exprs, [n for _, n in first_entries], alias="")
+            )
+        combined: Operator = UnionAll(projected)
+        if not query.union_all:
+            combined = Distinct(combined)
+        out_layout = combined.layout
+        if query.order_by:
+            keys = self._order_keys(query.order_by, out_layout)
+            if query.fetch_first is not None:
+                return TopN(combined, keys, query.fetch_first), columns
+            return Sort(combined, keys), columns
+        if query.fetch_first is not None:
+            return Limit(combined, query.fetch_first), columns
+        return combined, columns
+
+    def _assemble_single(
+        self,
+        query: Query,
+        core: SelectCore,
+        op: Operator,
+        entries: List[Tuple[str, str]],
+        exprs: List[Expression],
+        delivered: Optional[OrderSpec],
+    ) -> Operator:
+        names = [n for _, n in entries]
+        # Keep the originating table alias on pass-through columns so
+        # ORDER BY can reference them post-projection.
+        projected = Project(op, exprs, names, entries=entries)
+        result: Operator = projected
+        if core.distinct:
+            result = Distinct(result)
+
+        if query.order_by:
+            order_satisfied = self._order_satisfied(
+                query.order_by, exprs, entries, delivered
+            ) and not core.distinct
+            if order_satisfied:
+                if query.fetch_first is not None:
+                    return Limit(result, query.fetch_first)
+                return result
+            keys = self._order_keys(query.order_by, result.layout)
+            if query.fetch_first is not None:
+                return TopN(result, keys, query.fetch_first)
+            return Sort(result, keys)
+        if query.fetch_first is not None:
+            return Limit(result, query.fetch_first)
+        return result
+
+    # ------------------------------------------------------------------
+    # Ordering helpers
+    # ------------------------------------------------------------------
+    def _desired_order(self, query: Query) -> Optional[OrderSpec]:
+        if len(query.order_by) != 1 or len(query.cores) != 1:
+            return None
+        key = query.order_by[0]
+        target = self._order_target(key.expr, query.cores[0])
+        if target is None:
+            return None
+        alias, name = target
+        return (alias, name, key.descending)
+
+    def _order_target(
+        self, expr: Expression, core: SelectCore
+    ) -> Optional[Tuple[str, str]]:
+        """Map an ORDER BY expression to a block column, through output
+        aliases when needed."""
+        if isinstance(expr, ColumnRef):
+            if expr.qualifier is not None:
+                return (expr.qualifier, expr.name)
+            # An output alias naming a plain column?
+            for item in core.items:
+                if item.star or item.alias is None:
+                    continue
+                if item.alias.lower() == expr.name and isinstance(item.expr, ColumnRef):
+                    inner = item.expr
+                    if inner.qualifier is not None:
+                        return (inner.qualifier, inner.name)
+            # A bare column name owned by exactly one table?
+            try:
+                alias_schemas = self._alias_schemas(core)
+            except SqlBindError:
+                return None
+            owners = [a for a, s in alias_schemas.items() if s.has_column(expr.name)]
+            if len(owners) == 1:
+                return (owners[0], expr.name)
+        return None
+
+    def _order_satisfied(
+        self,
+        order_by: List[OrderItem],
+        exprs: List[Expression],
+        entries: List[Tuple[str, str]],
+        delivered: Optional[OrderSpec],
+    ) -> bool:
+        if delivered is None or len(order_by) != 1:
+            return False
+        key = order_by[0]
+        if key.descending != delivered[2]:
+            return False
+        if isinstance(key.expr, ColumnRef):
+            candidates = {(key.expr.qualifier, key.expr.name)}
+            if key.expr.qualifier is None:
+                # Output alias or bare name: map through projection.
+                for (alias, name), expr in zip(entries, exprs):
+                    if name == key.expr.name and isinstance(expr, ColumnRef):
+                        candidates.add((expr.qualifier, expr.name))
+            return (delivered[0], delivered[1]) in candidates
+        return False
+
+    def _order_keys(self, order_by: List[OrderItem], layout: RowLayout):
+        keys = []
+        for item in order_by:
+            expr = item.expr
+            if isinstance(expr, ColumnRef) and expr.qualifier is None:
+                # Resolve against output names (unqualified post-projection).
+                keys.append((ColumnRef(None, expr.name), item.descending))
+            else:
+                keys.append((expr, item.descending))
+        # Validate now for a clear error message.
+        for expr, _ in keys:
+            expr.bind(layout)
+        return keys
+
+
+def _contains_exists(expr: Expression) -> bool:
+    if isinstance(expr, ExistsExpr):
+        return True
+    for attr in ("items",):
+        items = getattr(expr, attr, None)
+        if items is not None:
+            return any(_contains_exists(i) for i in items)
+    for attr in ("item", "left", "right", "haystack", "needle", "value"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expression) and _contains_exists(child):
+            return True
+    return False
+
+
+class Engine:
+    """Top-level query interface over a :class:`Database`.
+
+    >>> engine = Engine(db)
+    >>> result = engine.execute("SELECT id FROM protein WHERE id = 32")
+    >>> result.rows
+    [(32,)]
+    """
+
+    def __init__(self, database: Database, stats: Optional[StatsCatalog] = None) -> None:
+        self.database = database
+        self.stats = stats if stats is not None else StatsCatalog(database)
+        self.planner = Planner(database, self.stats)
+
+    def refresh_statistics(self) -> None:
+        self.stats.refresh()
+
+    def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        query = parse(sql, params)
+        plan, columns = self.planner.plan(query)
+        rows = plan.run()
+        self.database.stats.rows_emitted += len(rows)
+        return QueryResult(columns, rows)
+
+    def explain(self, sql: str, params: Optional[Dict[str, Any]] = None) -> str:
+        query = parse(sql, params)
+        plan, _ = self.planner.plan(query)
+        return plan.explain()

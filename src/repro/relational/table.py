@@ -1,0 +1,143 @@
+"""In-memory tables: tuple rows plus maintained secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CatalogError, SchemaError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.schema import TableSchema
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """A heap of tuples with optional hash and sorted indexes.
+
+    Rows are append-only (the Biozon workload is bulk-loaded; Section 3.2
+    notes updates happen offline in bulk, at which point derived tables
+    are recomputed).  A primary-key hash index is created automatically
+    when the schema declares one.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: List[Row] = []
+        self._hash_indexes: Dict[str, HashIndex] = {}
+        self._sorted_indexes: Dict[str, SortedIndex] = {}
+        if schema.primary_key is not None:
+            self.create_hash_index("pk", [schema.primary_key])
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_hash_index(self, name: str, columns: Sequence[str]) -> HashIndex:
+        if name in self._hash_indexes or name in self._sorted_indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.schema.name!r}")
+        positions = [self.schema.column_position(c) for c in columns]
+        index = HashIndex(name, positions)
+        for pos, row in enumerate(self.rows):
+            index.insert(row, pos)
+        self._hash_indexes[name] = index
+        return index
+
+    def create_sorted_index(self, name: str, column: str) -> SortedIndex:
+        if name in self._hash_indexes or name in self._sorted_indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.schema.name!r}")
+        index = SortedIndex(name, self.schema.column_position(column))
+        index.bulk_build(self.rows)
+        self._sorted_indexes[name] = index
+        return index
+
+    def hash_index_on(self, columns: Sequence[str]) -> Optional[HashIndex]:
+        """Find a hash index whose key is exactly these columns (order-
+        sensitive), if any."""
+        positions = tuple(self.schema.column_position(c) for c in columns)
+        for index in self._hash_indexes.values():
+            if index.column_positions == positions:
+                return index
+        return None
+
+    def sorted_index_on(self, column: str) -> Optional[SortedIndex]:
+        position = self.schema.column_position(column)
+        for index in self._sorted_indexes.values():
+            if index.column_position == position:
+                return index
+        return None
+
+    @property
+    def hash_indexes(self) -> Dict[str, HashIndex]:
+        return dict(self._hash_indexes)
+
+    @property
+    def sorted_indexes(self) -> Dict[str, SortedIndex]:
+        return dict(self._sorted_indexes)
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def insert(self, values: Union[Sequence[Any], Dict[str, Any]]) -> None:
+        if isinstance(values, dict):
+            row = self.schema.row_from_mapping(values)
+        else:
+            row = self.schema.validate_row(values)
+        if self.schema.primary_key is not None:
+            pk_index = self._hash_indexes["pk"]
+            if pk_index.lookup(pk_index.key_of(row)):
+                raise SchemaError(
+                    f"duplicate primary key {pk_index.key_of(row)!r} in "
+                    f"{self.schema.name!r}"
+                )
+        position = len(self.rows)
+        self.rows.append(row)
+        for index in self._hash_indexes.values():
+            index.insert(row, position)
+        for index in self._sorted_indexes.values():
+            index.insert(row, position)
+
+    def bulk_load(self, rows: Iterable[Union[Sequence[Any], Dict[str, Any]]]) -> int:
+        """Validate and append many rows, rebuilding sorted indexes once
+        at the end.  Returns the number of rows loaded."""
+        sorted_backups = self._sorted_indexes
+        self._sorted_indexes = {}
+        count = 0
+        try:
+            for values in rows:
+                self.insert(values)
+                count += 1
+        finally:
+            self._sorted_indexes = sorted_backups
+            for index in self._sorted_indexes.values():
+                index.bulk_build(self.rows)
+        return count
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def scan(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def row_at(self, position: int) -> Row:
+        return self.rows[position]
+
+    def get_by_key(self, key: Any) -> List[Row]:
+        """Primary-key lookup (requires a declared primary key)."""
+        if self.schema.primary_key is None:
+            raise CatalogError(f"table {self.schema.name!r} has no primary key")
+        return [self.rows[p] for p in self._hash_indexes["pk"].lookup(key)]
+
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint used by the Table-1 space accounting:
+        fixed 8 bytes per numeric/bool cell, string length for text."""
+        total = 0
+        for row in self.rows:
+            for value in row:
+                if isinstance(value, str):
+                    total += len(value)
+                else:
+                    total += 8
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.name}, rows={self.row_count})"

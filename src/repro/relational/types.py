@@ -1,0 +1,59 @@
+"""Column data types for the relational substrate.
+
+The engine supports the four types the Biozon-style workload needs:
+integers (ids), floats (scores), text (descriptions, keywords), and
+booleans.  SQL ``NULL`` is represented by Python ``None`` and is legal
+in any column unless the column is declared ``not_null``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    def validate(self, value: Any) -> Any:
+        """Check (and mildly coerce) a Python value for this type.
+
+        ``INT`` accepts ints; ``FLOAT`` accepts ints and floats (ints are
+        widened); ``TEXT`` accepts str; ``BOOL`` accepts bool.  ``None``
+        always passes (nullability is enforced at the schema level).
+        """
+        if value is None:
+            return None
+        if self is DataType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected INT, got {value!r}")
+            return value
+        if self is DataType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected FLOAT, got {value!r}")
+            return float(value)
+        if self is DataType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected TEXT, got {value!r}")
+            return value
+        if self is DataType.BOOL:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected BOOL, got {value!r}")
+            return value
+        raise SchemaError(f"unknown type {self!r}")  # pragma: no cover
+
+
+def comparable(left: Any, right: Any) -> bool:
+    """Can two non-null runtime values be ordered against each other?"""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return type(left) is type(right)

@@ -1,0 +1,105 @@
+"""Frequency analysis, Zipf fits, and report rendering."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    fit_zipf,
+    frequency_table,
+    head_mass,
+    rank_frequency,
+    render_ascii_loglog,
+    render_series,
+    render_table,
+)
+
+
+class TestRankFrequency:
+    def test_sorted_descending(self):
+        points = rank_frequency([3, 9, 1, 5])
+        assert points == [(1, 9), (2, 5), (3, 3), (4, 1)]
+
+    def test_zero_frequencies_dropped(self):
+        assert rank_frequency([0, 2, 0]) == [(1, 2)]
+
+
+class TestZipfFit:
+    def test_perfect_zipf(self):
+        freqs = [int(1000 / rank) for rank in range(1, 30)]
+        fit = fit_zipf(freqs)
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+        assert fit.r_squared > 0.98
+        assert fit.is_zipf_like
+
+    def test_steeper_law(self):
+        freqs = [max(1, int(10000 / rank**2)) for rank in range(1, 25)]
+        fit = fit_zipf(freqs)
+        assert fit.exponent > 1.5
+
+    def test_uniform_not_zipf(self):
+        fit = fit_zipf([50] * 20)
+        assert not fit.is_zipf_like
+
+    def test_degenerate_inputs(self):
+        assert fit_zipf([]).n_points == 0
+        assert fit_zipf([5]).n_points == 1
+        assert not fit_zipf([5]).is_zipf_like
+
+    def test_noisy_zipf_still_detected(self):
+        rng = random.Random(3)
+        freqs = [
+            max(1, int((2000 / rank) * rng.uniform(0.7, 1.3)))
+            for rank in range(1, 40)
+        ]
+        assert fit_zipf(freqs).is_zipf_like
+
+
+class TestHeadMass:
+    def test_skewed(self):
+        freqs = [1000, 10, 5, 2, 1]
+        assert head_mass(freqs, head=1) > 0.95
+
+    def test_uniform(self):
+        assert head_mass([10] * 10, head=2) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert head_mass([]) == 0.0
+
+
+class TestFrequencyTable:
+    def test_labels_and_series(self, tiny_system):
+        store = tiny_system.require_store()
+        table = frequency_table(
+            store, [("Protein", "DNA"), ("Protein", "Interaction")]
+        )
+        assert set(table) == {"PD", "PI"}
+        for series in table.values():
+            assert series == sorted(series, reverse=True)
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(
+            ["a", "b"], [[1, 2.5], ["xy", 0.001]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series_downsamples(self):
+        text = render_series("S", list(range(100)), max_points=10)
+        assert text.startswith("S: ")
+        assert len(text.split()) == 11
+
+    def test_ascii_loglog(self):
+        plot = render_ascii_loglog({"PD": [100, 50, 20, 10, 5, 2, 1]})
+        assert "log(rank)" in plot
+        assert "o=PD" in plot
+
+    def test_ascii_loglog_degenerate(self):
+        assert "not enough data" in render_ascii_loglog({"PD": [1]})

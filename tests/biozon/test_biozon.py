@@ -1,0 +1,146 @@
+"""Biozon schema, Figure-3 fixture, graph mapping, and generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import (
+    BiozonConfig,
+    INTERACTION_KEYWORDS,
+    PROTEIN_KEYWORDS,
+    RELATIONSHIPS,
+    biozon_schema_graph,
+    build_empty_database,
+    build_figure3_database,
+    database_to_graph,
+    generate,
+)
+from repro.errors import GeneratorError
+from repro.graph import enumerate_schema_paths
+
+
+class TestSchema:
+    def test_seven_entity_tables_eight_relationship_tables(self):
+        db = build_empty_database()
+        names = set(db.table_names())
+        entity = {"Protein", "DNA", "Unigene", "Interaction", "Family", "Pathway", "Structure"}
+        assert entity <= names
+        assert len(names) == 15  # 7 + 8, the paper's table counts
+
+    def test_fk_indexes_exist(self):
+        db = build_empty_database()
+        for spec in RELATIONSHIPS:
+            t = db.table(spec.table)
+            assert t.hash_index_on([spec.left_column]) is not None
+            assert t.hash_index_on([spec.right_column]) is not None
+
+    def test_ten_schema_paths(self):
+        sg = biozon_schema_graph()
+        assert len(enumerate_schema_paths(sg, "Protein", "DNA", 3)) == 10
+
+
+class TestFigure3:
+    def test_row_counts(self):
+        db = build_figure3_database()
+        assert db.table("Protein").row_count == 4
+        assert db.table("DNA").row_count == 3
+        assert db.table("Unigene").row_count == 4
+        assert db.table("Encodes").row_count == 2
+        assert db.table("UniEncodes").row_count == 5
+        assert db.table("UniContains").row_count == 4
+
+    def test_graph_mapping(self):
+        g = database_to_graph(build_figure3_database())
+        assert g.node_count == 11
+        assert g.edge_count == 11
+        assert g.node_type(78) == "Protein"
+        assert g.node_type(215) == "DNA"
+
+    def test_edges_reconstruct_figure6(self):
+        g = database_to_graph(build_figure3_database())
+        assert g.edges_between(103, 78)  # uni_encodes 25
+        assert g.edges_between(103, 34)  # uni_encodes 14
+        assert g.edges_between(103, 215)  # uni_contains 62
+        assert g.edges_between(34, 215)  # encodes 44
+        assert not g.edges_between(78, 215)  # no direct edge
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        a = generate(BiozonConfig.tiny(seed=9))
+        b = generate(BiozonConfig.tiny(seed=9))
+        assert a.database.table("Protein").rows == b.database.table("Protein").rows
+        assert a.database.table("Encodes").rows == b.database.table("Encodes").rows
+
+    def test_seed_changes_data(self):
+        a = generate(BiozonConfig.tiny(seed=1))
+        b = generate(BiozonConfig.tiny(seed=2))
+        assert a.database.table("Protein").rows != b.database.table("Protein").rows
+
+    def test_keyword_fractions_near_targets(self):
+        ds = generate(BiozonConfig.small(seed=5))
+        for keyword, target in PROTEIN_KEYWORDS:
+            achieved = ds.truth.protein_keyword_fractions[keyword]
+            assert abs(achieved - target) < 0.08, (keyword, achieved)
+        for keyword, target in INTERACTION_KEYWORDS:
+            achieved = ds.truth.interaction_keyword_fractions[keyword]
+            assert abs(achieved - target) < 0.12, (keyword, achieved)
+
+    def test_keyword_fractions_match_actual_rows(self):
+        ds = generate(BiozonConfig.tiny(seed=4))
+        rows = ds.database.table("Protein").rows
+        for keyword, _ in PROTEIN_KEYWORDS:
+            actual = sum(1 for r in rows if keyword in r[1]) / len(rows)
+            assert actual == pytest.approx(
+                ds.truth.protein_keyword_fractions[keyword]
+            )
+
+    def test_operons_planted(self):
+        ds = generate(BiozonConfig.small(seed=5))
+        assert ds.truth.operons
+        g = ds.graph()
+        for operon in ds.truth.operons[:5]:
+            a, b = operon.interacting_pair
+            # Both proteins encoded by the operon DNA...
+            assert g.edges_between(a, operon.dna_id)
+            assert g.edges_between(b, operon.dna_id)
+            # ...and both attached to the planted interaction.
+            assert g.edges_between(a, operon.interaction_id)
+            assert g.edges_between(b, operon.interaction_id)
+
+    def test_self_regulation_planted(self):
+        ds = generate(BiozonConfig.small(seed=5))
+        assert ds.truth.self_regulating
+        g = ds.graph()
+        for pid, did, iid in ds.truth.self_regulating[:5]:
+            assert g.edges_between(pid, did)   # encoded by
+            assert g.edges_between(pid, iid)   # participates
+            assert g.edges_between(did, iid)   # DNA bound by interaction
+
+    def test_every_row_maps_to_graph(self):
+        ds = generate(BiozonConfig.tiny(seed=4))
+        g = ds.graph()
+        n_entities = sum(
+            ds.database.table(t).row_count
+            for t in ("Protein", "DNA", "Unigene", "Interaction",
+                       "Family", "Pathway", "Structure")
+        )
+        n_edges = sum(ds.database.table(s.table).row_count for s in RELATIONSHIPS)
+        assert g.node_count == n_entities
+        assert g.edge_count == n_edges
+
+    def test_config_validation(self):
+        with pytest.raises(GeneratorError):
+            BiozonConfig(n_proteins=2)
+
+    def test_presets_scale(self):
+        assert BiozonConfig.tiny().n_proteins < BiozonConfig.small().n_proteins
+        assert BiozonConfig.small().n_proteins < BiozonConfig.medium().n_proteins
+        assert BiozonConfig.medium().n_proteins < BiozonConfig.large().n_proteins
+
+    def test_est_dnas_recorded(self):
+        ds = generate(BiozonConfig.small(seed=5))
+        assert ds.truth.est_dna_ids
+        dna = ds.database.table("DNA")
+        for did in ds.truth.est_dna_ids[:10]:
+            assert dna.get_by_key(did)[0][1] == "EST"

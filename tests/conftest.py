@@ -1,0 +1,52 @@
+"""Shared fixtures: the Figure-3 system and a small synthetic system.
+
+Both are session-scoped — the offline build is the expensive part and
+every consumer treats it as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import BiozonConfig, build_figure3_database, generate
+from repro.core import TopologySearchSystem
+from repro.graph import LabeledGraph
+
+
+@pytest.fixture(scope="session")
+def fig3_db():
+    return build_figure3_database()
+
+
+@pytest.fixture(scope="session")
+def fig3_system(fig3_db):
+    system = TopologySearchSystem(fig3_db)
+    system.build([("Protein", "DNA")], max_length=3)
+    return system
+
+
+@pytest.fixture(scope="session")
+def fig3_graph(fig3_system):
+    return fig3_system.graph
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate(BiozonConfig.tiny(seed=3))
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tiny_dataset):
+    system = TopologySearchSystem(tiny_dataset.database, tiny_dataset.graph())
+    system.build([("Protein", "DNA"), ("Protein", "Interaction")], max_length=3)
+    return system
+
+
+def build_graph(nodes, edges) -> LabeledGraph:
+    """Test helper: graph from [(id, type)] and [(eid, u, v, type)]."""
+    g = LabeledGraph()
+    for nid, ntype in nodes:
+        g.add_node(nid, ntype)
+    for eid, u, v, etype in edges:
+        g.add_edge(eid, u, v, etype)
+    return g

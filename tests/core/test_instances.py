@@ -1,0 +1,89 @@
+"""Instance-level retrieval (Section 6.2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttributeConstraint,
+    InstanceRetriever,
+    KeywordConstraint,
+    TopologyQuery,
+)
+
+
+@pytest.fixture(scope="module")
+def retriever(fig3_system):
+    return InstanceRetriever(fig3_system)
+
+
+def tid_by_size(fig3_system, n_nodes):
+    store = fig3_system.require_store()
+    hits = [t.tid for t in store.topologies.values() if t.num_nodes == n_nodes]
+    assert hits, f"no topology with {n_nodes} nodes"
+    return hits[0]
+
+
+class TestPairs:
+    def test_pairs_for_t1(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 2)  # T1: single encodes edge
+        assert retriever.pairs_for_topology(tid) == [(32, 214)]
+
+    def test_pairs_for_t3(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 4)  # T3
+        assert retriever.pairs_for_topology(tid) == [(78, 215)]
+
+
+class TestInstances:
+    def test_t1_instance(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 2)
+        instances = retriever.instances(tid)
+        assert len(instances) == 1
+        inst = instances[0]
+        assert set(inst.entities()) == {32, 214}
+        assert inst.e1 == 32 and inst.e2 == 214
+
+    def test_t3_instance_covers_shared_unigene(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 4)
+        instances = retriever.instances(tid)
+        assert instances
+        entities = set(instances[0].entities())
+        assert entities == {78, 103, 34, 215}
+
+    def test_edge_map_refers_to_real_edges(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 4)
+        graph = fig3_system.graph
+        for inst in retriever.instances(tid):
+            for _, edge_id in inst.edge_map:
+                assert graph.has_edge(edge_id)
+
+    def test_instance_count_limit(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 3)  # T2-shaped
+        capped = retriever.instances(tid, limit=1)
+        assert len(capped) == 1
+
+    def test_query_filter(self, fig3_system, retriever):
+        tid = tid_by_size(fig3_system, 3)
+        q = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "zzz-no-match"),
+            AttributeConstraint("TYPE", "mRNA"),
+        )
+        assert retriever.instances(tid, query=q) == []
+
+    def test_verify_pair(self, fig3_system, retriever):
+        t1 = tid_by_size(fig3_system, 2)
+        assert retriever.verify_pair(t1, 32, 214, 3)
+        assert not retriever.verify_pair(t1, 78, 215, 3)
+
+    def test_instances_on_synthetic(self, tiny_system):
+        retriever = InstanceRetriever(tiny_system)
+        store = tiny_system.require_store()
+        # Pick the most frequent topology and spot-check a few instances.
+        top = max(store.topologies.values(), key=lambda t: t.frequency)
+        instances = retriever.instances(top.tid, limit=5, per_pair_limit=2)
+        assert instances
+        graph = tiny_system.graph
+        for inst in instances:
+            for canon_idx, node_id in inst.node_map:
+                assert graph.has_node(node_id)

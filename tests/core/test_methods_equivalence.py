@@ -1,0 +1,243 @@
+"""Cross-method equivalence on synthetic data (the central correctness
+property): every method must agree with the Definition-3 reference and
+with each other, for both orientations, all rankings, and several k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttributeConstraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+    topology_result,
+)
+
+TOPK_METHODS = [
+    "full-top-k",
+    "fast-top-k",
+    "full-top-k-et",
+    "fast-top-k-et",
+    "full-top-k-opt",
+    "fast-top-k-opt",
+]
+
+
+def reference_tids(system, dataset, query):
+    """Definition-3 reference evaluation."""
+    db = dataset.database
+    graph = system.graph
+    t1 = db.table(query.entity1)
+    layout1 = [(query.entity1.lower(), c.name) for c in t1.schema.columns]
+    from repro.relational.expressions import RowLayout
+
+    fn1 = query.constraint1.to_expression(query.entity1.lower()).bind(
+        RowLayout(layout1)
+    )
+    set_a = [r[0] for r in t1.rows if fn1(r) is True]
+    t2 = db.table(query.entity2)
+    layout2 = [(query.entity2.lower(), c.name) for c in t2.schema.columns]
+    fn2 = query.constraint2.to_expression(query.entity2.lower()).bind(
+        RowLayout(layout2)
+    )
+    set_b = [r[0] for r in t2.rows if fn2(r) is True]
+    result = topology_result(graph, set_a, set_b, query.max_length)
+    pair = system.store_entity_pair(query)
+    store = system.require_store()
+    return sorted(store.tid_of(key, pair) for key in result)
+
+
+QUERIES = [
+    TopologyQuery(
+        "Protein", "DNA",
+        KeywordConstraint("DESC", "human"),
+        AttributeConstraint("TYPE", "mRNA"),
+    ),
+    TopologyQuery(
+        "Protein", "DNA",
+        KeywordConstraint("DESC", "kinase"),
+        NoConstraint(),
+    ),
+    TopologyQuery(
+        "Protein", "Interaction",
+        KeywordConstraint("DESC", "binding"),
+        KeywordConstraint("DESC", "direct"),
+    ),
+    # Reversed orientation relative to the build() pair list.
+    TopologyQuery(
+        "DNA", "Protein",
+        AttributeConstraint("TYPE", "EST"),
+        NoConstraint(),
+    ),
+    TopologyQuery(
+        "Interaction", "Protein",
+        NoConstraint(),
+        KeywordConstraint("DESC", "human"),
+    ),
+]
+
+
+class TestExhaustiveMethods:
+    @pytest.mark.parametrize("qidx", range(len(QUERIES)))
+    def test_full_top_matches_reference(self, tiny_system, tiny_dataset, qidx):
+        query = QUERIES[qidx]
+        expected = reference_tids(tiny_system, tiny_dataset, query)
+        result = tiny_system.search(query, "full-top")
+        assert result.tids == expected
+
+    @pytest.mark.parametrize("qidx", range(len(QUERIES)))
+    def test_fast_top_matches_full_top(self, tiny_system, qidx):
+        query = QUERIES[qidx]
+        assert (
+            tiny_system.search(query, "fast-top").tids
+            == tiny_system.search(query, "full-top").tids
+        )
+
+    def test_sql_method_matches(self, tiny_system, tiny_dataset):
+        query = QUERIES[0]
+        expected = reference_tids(tiny_system, tiny_dataset, query)
+        assert tiny_system.search(query, "sql").tids == expected
+
+
+class TestTopKMethods:
+    @pytest.mark.parametrize("method", TOPK_METHODS[1:])
+    @pytest.mark.parametrize("ranking", ["freq", "rare", "domain"])
+    def test_agree_with_full_top_k(self, tiny_system, method, ranking):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"),
+            AttributeConstraint("TYPE", "mRNA"),
+            k=7, ranking=ranking,
+        )
+        reference = tiny_system.search(query, "full-top-k")
+        result = tiny_system.search(query, method)
+        assert result.tids == reference.tids
+        assert result.scores == pytest.approx(reference.scores)
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 1000])
+    def test_varying_k(self, tiny_system, k):
+        query = TopologyQuery(
+            "Protein", "Interaction",
+            KeywordConstraint("DESC", "binding"),
+            NoConstraint(),
+            k=k, ranking="rare",
+        )
+        reference = tiny_system.search(query, "full-top-k")
+        for method in TOPK_METHODS[1:]:
+            assert tiny_system.search(query, method).tids == reference.tids
+
+    def test_topk_is_prefix_of_larger_k(self, tiny_system):
+        small = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(),
+            k=3, ranking="freq",
+        )
+        large = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(),
+            k=8, ranking="freq",
+        )
+        s = tiny_system.search(small, "fast-top-k").tids
+        l = tiny_system.search(large, "fast-top-k").tids
+        assert l[: len(s)] == s
+
+    def test_topk_subset_of_exhaustive(self, tiny_system):
+        query_all = QUERIES[0]
+        query_k = TopologyQuery(
+            query_all.entity1, query_all.entity2,
+            query_all.constraint1, query_all.constraint2,
+            k=5, ranking="domain",
+        )
+        all_tids = set(tiny_system.search(query_all, "full-top").tids)
+        top = tiny_system.search(query_k, "fast-top-k-et").tids
+        assert set(top) <= all_tids
+
+    def test_scores_descending(self, tiny_system):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            NoConstraint(), NoConstraint(),
+            k=10, ranking="rare",
+        )
+        result = tiny_system.search(query, "fast-top-k-et")
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    @pytest.mark.parametrize("flavor", ["idgj", "hdgj"])
+    def test_et_flavors_agree(self, tiny_system, flavor):
+        from repro.core.methods.et import FastTopKEtMethod
+
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"),
+            AttributeConstraint("TYPE", "mRNA"),
+            k=6, ranking="freq",
+        )
+        reference = tiny_system.search(query, "full-top-k").tids
+        method = FastTopKEtMethod(tiny_system, flavor=flavor)
+        assert method.run(query).tids == reference
+
+
+class TestMethodBehaviour:
+    def test_et_does_less_work_for_small_k(self, tiny_system):
+        query_small = TopologyQuery(
+            "Protein", "DNA", NoConstraint(), NoConstraint(), k=1, ranking="freq"
+        )
+        query_large = TopologyQuery(
+            "Protein", "DNA", NoConstraint(), NoConstraint(), k=50, ranking="freq"
+        )
+        small = tiny_system.search(query_small, "fast-top-k-et")
+        large = tiny_system.search(query_large, "fast-top-k-et")
+        assert small.work["index_probes"] <= large.work["index_probes"]
+
+    def test_opt_reports_choice(self, tiny_system):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(),
+            k=5, ranking="freq",
+        )
+        result = tiny_system.search(query, "fast-top-k-opt")
+        assert result.plan_choice is not None
+        assert "et" in result.plan_choice or "regular" in result.plan_choice
+
+    def test_unbuilt_pair_rejected(self, tiny_system):
+        from repro.errors import TopologyError
+
+        query = TopologyQuery("Family", "Pathway", NoConstraint(), NoConstraint())
+        with pytest.raises(TopologyError):
+            tiny_system.search(query, "full-top")
+
+    def test_wrong_l_rejected(self, tiny_system):
+        from repro.errors import TopologyError
+
+        query = TopologyQuery(
+            "Protein", "DNA", NoConstraint(), NoConstraint(), max_length=2
+        )
+        with pytest.raises(TopologyError):
+            tiny_system.search(query, "full-top")
+
+    def test_unknown_method_rejected(self, tiny_system):
+        from repro.errors import TopologyError
+
+        query = QUERIES[0]
+        with pytest.raises(TopologyError):
+            tiny_system.search(query, "quantum-top")
+
+    def test_work_counters_populated(self, tiny_system):
+        result = tiny_system.search(QUERIES[0], "full-top")
+        assert result.work["rows_scanned"] >= 0
+        assert result.elapsed_seconds >= 0
+
+    def test_empty_result_when_no_matches(self, tiny_system):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "zzz_no_such_keyword"),
+            NoConstraint(),
+        )
+        assert tiny_system.search(query, "full-top").tids == []
+        assert tiny_system.search(query, "fast-top").tids == []
+        qk = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "zzz_no_such_keyword"),
+            NoConstraint(), k=5,
+        )
+        assert tiny_system.search(qk, "fast-top-k-et").tids == []

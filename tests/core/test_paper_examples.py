@@ -1,0 +1,204 @@
+"""Ground-truth tests for the paper's running example (Sections 1-2).
+
+Every concrete claim the paper makes about the Figure-3 database is
+pinned here: the isolated paths of Figure 4, the equivalence classes of
+Figure 7, the topologies of Figure 5, and the query result
+3-Topology(Q1) = {T1, T2, T3, T4}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import (
+    Q1_EXPECTED_DNAS,
+    Q1_EXPECTED_PROTEINS,
+    build_figure3_database,
+)
+from repro.core import (
+    AttributeConstraint,
+    KeywordConstraint,
+    TopologyQuery,
+    path_equivalence_classes,
+    topologies_for_pair,
+    topology_result,
+)
+from repro.graph import canonical_key
+
+
+Q1 = TopologyQuery(
+    "Protein",
+    "DNA",
+    KeywordConstraint("DESC", "enzyme"),
+    AttributeConstraint("TYPE", "mRNA"),
+)
+
+
+class TestSatisfyingEntities:
+    """Example 2.2: proteins {32, 78, 44}; DNAs {214, 215, 742}."""
+
+    def test_proteins(self, fig3_system):
+        r = fig3_system.engine.execute(
+            "SELECT P.ID FROM Protein P WHERE CONTAINS(P.DESC, 'enzyme')"
+        )
+        assert {row[0] for row in r.rows} == Q1_EXPECTED_PROTEINS
+
+    def test_protein_34_excluded(self, fig3_system):
+        assert 34 not in Q1_EXPECTED_PROTEINS
+
+    def test_dnas(self, fig3_system):
+        r = fig3_system.engine.execute(
+            "SELECT D.ID FROM DNA D WHERE D.TYPE = 'mRNA'"
+        )
+        assert {row[0] for row in r.rows} == Q1_EXPECTED_DNAS
+
+
+class TestIsolatedPaths:
+    """Section 1 / Figure 4: p78 relates to d215 via three paths
+    (78-103-215, 78-150-215, 78-103-34-215); (44, 742) via two."""
+
+    def test_ps_78_215(self, fig3_graph):
+        from repro.graph import path_set
+
+        paths = path_set(fig3_graph, 78, 215, 3)
+        assert len(paths) == 3
+        node_sets = {p.nodes for p in paths}
+        assert (78, 103, 215) in node_sets          # l2
+        assert (78, 150, 215) in node_sets          # l3
+        assert (78, 103, 34, 215) in node_sets      # l6
+
+    def test_ps_44_742(self, fig3_graph):
+        from repro.graph import path_set
+
+        paths = path_set(fig3_graph, 44, 742, 3)
+        assert {p.nodes for p in paths} == {(44, 188, 742), (44, 194, 742)}
+
+    def test_ps_32_214(self, fig3_graph):
+        from repro.graph import path_set
+
+        paths = path_set(fig3_graph, 32, 214, 3)
+        assert [p.nodes for p in paths] == [(32, 214)]
+
+    def test_no_other_pairs_related(self, fig3_graph):
+        from repro.graph import path_set
+
+        for a in (32, 78, 44):
+            for b in (214, 215, 742):
+                if (a, b) in {(32, 214), (78, 215), (44, 742)}:
+                    continue
+                assert path_set(fig3_graph, a, b, 3) == []
+
+
+class TestEquivalenceClasses:
+    """Figure 7: l2 and l3 share a class (c2); l6 is its own class (c3);
+    l1 its own (c1); l4 and l5 share c2's structure too."""
+
+    def test_3_pathec_78_215_has_two_classes(self, fig3_graph):
+        classes = path_equivalence_classes(fig3_graph, 78, 215, 3)
+        assert len(classes) == 2
+        sizes = sorted(len(v) for v in classes.values())
+        assert sizes == [1, 2]
+
+    def test_l2_l3_same_class(self, fig3_graph):
+        classes = path_equivalence_classes(fig3_graph, 78, 215, 3)
+        c2 = ("DNA", "uni_contains", "Unigene", "uni_encodes", "Protein")
+        sig = min(c2, c2[::-1])
+        assert sig in classes
+        assert {p.nodes for p in classes[sig]} == {(78, 103, 215), (78, 150, 215)}
+
+    def test_44_742_single_class(self, fig3_graph):
+        classes = path_equivalence_classes(fig3_graph, 44, 742, 3)
+        assert len(classes) == 1
+        (paths,) = classes.values()
+        assert len(paths) == 2
+
+
+class TestTopologies:
+    """The example after Definition 2: 3-Top(78,215) = {T3, T4};
+    3-Top(32,214) = {T1}; 3-Top(44,742) = {T2}; T5 (union of the two
+    isomorphic paths l4, l5) is NOT a topology."""
+
+    def test_pair_78_215(self, fig3_graph):
+        pair = topologies_for_pair(fig3_graph, 78, 215, 3)
+        assert len(pair.topology_keys) == 2  # T3 and T4
+
+    def test_t3_and_t4_structures(self, fig3_graph):
+        pair = topologies_for_pair(fig3_graph, 78, 215, 3)
+        sizes = set()
+        for key in pair.topology_keys:
+            from repro.graph import parse_canonical_key
+
+            node_types, edges = parse_canonical_key(key)
+            sizes.add((len(node_types), len(edges)))
+        # T3 = l2 ∪ l6 shares u103 and the 78-103 edge: 4 nodes, 4 edges.
+        # T4 = l3 ∪ l6 shares only the endpoints: 5 nodes, 5 edges.
+        assert sizes == {(4, 4), (5, 5)}
+
+    def test_pair_32_214_is_t1(self, fig3_graph):
+        pair = topologies_for_pair(fig3_graph, 32, 214, 3)
+        assert len(pair.topology_keys) == 1
+        from repro.graph import parse_canonical_key
+
+        node_types, edges = parse_canonical_key(pair.topology_keys[0])
+        assert sorted(node_types) == ["DNA", "Protein"]
+        assert edges == ((0, 1, "encodes"),)
+
+    def test_pair_44_742_is_t2_not_t5(self, fig3_graph):
+        pair = topologies_for_pair(fig3_graph, 44, 742, 3)
+        assert len(pair.topology_keys) == 1
+        from repro.graph import parse_canonical_key
+
+        node_types, _ = parse_canonical_key(pair.topology_keys[0])
+        # T2 = single P-U-D path (3 nodes), not T5 (the 4-node union of
+        # both isomorphic paths).
+        assert len(node_types) == 3
+
+    def test_query_result_is_t1_t2_t3_t4(self, fig3_graph):
+        """Definition 3 example: 3-Topology(Q1, G) = {T1, T2, T3, T4}."""
+        result = topology_result(
+            fig3_graph, sorted(Q1_EXPECTED_PROTEINS), sorted(Q1_EXPECTED_DNAS), 3
+        )
+        assert len(result) == 4
+
+    def test_witness_pairs(self, fig3_graph):
+        result = topology_result(
+            fig3_graph, sorted(Q1_EXPECTED_PROTEINS), sorted(Q1_EXPECTED_DNAS), 3
+        )
+        witnesses = {pair for pairs in result.values() for pair in pairs}
+        assert witnesses == {(32, 214), (78, 215), (44, 742)}
+
+
+class TestSystemOnQ1:
+    """End-to-end: every method returns the paper's four topologies."""
+
+    @pytest.mark.parametrize("method", ["full-top", "fast-top", "sql"])
+    def test_exhaustive_methods(self, fig3_system, method):
+        result = fig3_system.search(Q1, method)
+        assert len(result.tids) == 4
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            "full-top-k", "fast-top-k", "full-top-k-et",
+            "fast-top-k-et", "full-top-k-opt", "fast-top-k-opt",
+        ],
+    )
+    @pytest.mark.parametrize("ranking", ["freq", "rare", "domain"])
+    def test_topk_methods(self, fig3_system, method, ranking):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "enzyme"),
+            AttributeConstraint("TYPE", "mRNA"),
+            k=10, ranking=ranking,
+        )
+        reference = fig3_system.search(query, "full-top-k")
+        result = fig3_system.search(query, method)
+        assert result.tids == reference.tids
+        assert len(result.tids) == 4
+
+    def test_frequencies_all_one(self, fig3_system):
+        """Each Figure-5 topology has exactly one witnessing pair."""
+        store = fig3_system.require_store()
+        result = fig3_system.search(Q1, "full-top")
+        for tid in result.tids:
+            assert store.topology(tid).frequency == 1

@@ -1,0 +1,139 @@
+"""Subgraph isomorphism: anchored matching and embedding enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    find_embeddings,
+    has_subgraph_isomorphism,
+    subgraph_isomorphisms,
+)
+
+from tests.conftest import build_graph
+
+
+@pytest.fixture
+def target():
+    # p1 - d1 (encodes), p2 - d1 (encodes), p1 - i1, p2 - i1 (interacts)
+    return build_graph(
+        [("p1", "P"), ("p2", "P"), ("d1", "D"), ("i1", "I"), ("p3", "P")],
+        [
+            ("e1", "p1", "d1", "encodes"),
+            ("e2", "p2", "d1", "encodes"),
+            ("e3", "p1", "i1", "interacts"),
+            ("e4", "p2", "i1", "interacts"),
+            ("e5", "p3", "d1", "other"),
+        ],
+    )
+
+
+def edge_pattern():
+    return build_graph([("x", "P"), ("y", "D")], [("pe", "x", "y", "encodes")])
+
+
+class TestBasicMatching:
+    def test_single_edge_pattern(self, target):
+        maps = list(subgraph_isomorphisms(edge_pattern(), target))
+        assert {(m["x"], m["y"]) for m in maps} == {("p1", "d1"), ("p2", "d1")}
+
+    def test_edge_type_must_match(self, target):
+        pattern = build_graph([("x", "P"), ("y", "D")], [("pe", "x", "y", "zzz")])
+        assert not has_subgraph_isomorphism(pattern, target)
+
+    def test_node_type_must_match(self, target):
+        pattern = build_graph([("x", "U"), ("y", "D")], [("pe", "x", "y", "encodes")])
+        assert not has_subgraph_isomorphism(pattern, target)
+
+    def test_injective(self, target):
+        # Two distinct P's required: p1/p2 both encode d1 AND interact.
+        pattern = build_graph(
+            [("x", "P"), ("y", "P"), ("d", "D")],
+            [("a", "x", "d", "encodes"), ("b", "y", "d", "encodes")],
+        )
+        for m in subgraph_isomorphisms(pattern, target):
+            assert m["x"] != m["y"]
+
+    def test_motif_figure16(self, target):
+        """Two proteins encoded by the same DNA that also interact."""
+        pattern = build_graph(
+            [("x", "P"), ("y", "P"), ("d", "D"), ("i", "I")],
+            [
+                ("a", "x", "d", "encodes"),
+                ("b", "y", "d", "encodes"),
+                ("c", "x", "i", "interacts"),
+                ("e", "y", "i", "interacts"),
+            ],
+        )
+        maps = list(subgraph_isomorphisms(pattern, target))
+        assert len(maps) == 2  # x/y swap
+        for m in maps:
+            assert {m["x"], m["y"]} == {"p1", "p2"}
+
+
+class TestAnchors:
+    def test_anchor_restricts(self, target):
+        maps = list(
+            subgraph_isomorphisms(edge_pattern(), target, anchors={"x": "p1"})
+        )
+        assert [(m["x"], m["y"]) for m in maps] == [("p1", "d1")]
+
+    def test_anchor_type_mismatch(self, target):
+        assert (
+            list(subgraph_isomorphisms(edge_pattern(), target, anchors={"x": "d1"}))
+            == []
+        )
+
+    def test_anchor_without_edge(self, target):
+        assert not has_subgraph_isomorphism(
+            edge_pattern(), target, anchors={"x": "p3"}
+        )
+
+    def test_conflicting_anchor_targets(self, target):
+        pattern = build_graph(
+            [("x", "P"), ("y", "P"), ("d", "D")],
+            [("a", "x", "d", "encodes"), ("b", "y", "d", "encodes")],
+        )
+        assert (
+            list(
+                subgraph_isomorphisms(
+                    pattern, target, anchors={"x": "p1", "y": "p1"}
+                )
+            )
+            == []
+        )
+
+
+class TestEmbeddings:
+    def test_edge_map_injective(self, target):
+        pattern = build_graph(
+            [("x", "P"), ("y", "P"), ("d", "D")],
+            [("a", "x", "d", "encodes"), ("b", "y", "d", "encodes")],
+        )
+        for node_map, edge_map in find_embeddings(pattern, target):
+            assert len(set(edge_map.values())) == len(edge_map)
+
+    def test_parallel_pattern_edges_need_parallel_target_edges(self):
+        pattern = build_graph(
+            [("x", "P"), ("y", "D")],
+            [("a", "x", "y", "encodes"), ("b", "x", "y", "encodes")],
+        )
+        single = build_graph(
+            [("p", "P"), ("d", "D")], [("e", "p", "d", "encodes")]
+        )
+        double = build_graph(
+            [("p", "P"), ("d", "D")],
+            [("e1", "p", "d", "encodes"), ("e2", "p", "d", "encodes")],
+        )
+        assert find_embeddings(pattern, single) == []
+        assert len(find_embeddings(pattern, double)) == 2  # edge swap
+
+    def test_limit(self, target):
+        embeddings = find_embeddings(edge_pattern(), target, limit=1)
+        assert len(embeddings) == 1
+
+    def test_embedding_maps_edges_consistently(self, target):
+        for node_map, edge_map in find_embeddings(edge_pattern(), target):
+            teid = edge_map["pe"]
+            endpoints = set(target.edge_endpoints(teid))
+            assert endpoints == {node_map["x"], node_map["y"]}

@@ -1,0 +1,153 @@
+"""Unit tests for the labeled multigraph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import LabeledGraph, Path, union_all
+
+from tests.conftest import build_graph
+
+
+@pytest.fixture
+def small():
+    return build_graph(
+        [("p1", "Protein"), ("d1", "DNA"), ("u1", "Unigene")],
+        [("e1", "p1", "d1", "encodes"), ("e2", "u1", "p1", "uni_encodes")],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.node_count == 3
+        assert small.edge_count == 2
+
+    def test_node_type(self, small):
+        assert small.node_type("p1") == "Protein"
+        assert small.node_type("d1") == "DNA"
+
+    def test_edge_type_and_endpoints(self, small):
+        assert small.edge_type("e1") == "encodes"
+        assert set(small.edge_endpoints("e1")) == {"p1", "d1"}
+
+    def test_readding_same_node_is_noop(self, small):
+        small.add_node("p1", "Protein")
+        assert small.node_count == 3
+
+    def test_readding_node_with_different_type_fails(self, small):
+        with pytest.raises(GraphError):
+            small.add_node("p1", "DNA")
+
+    def test_duplicate_edge_id_fails(self, small):
+        with pytest.raises(GraphError):
+            small.add_edge("e1", "p1", "u1", "x")
+
+    def test_edge_with_unknown_endpoint_fails(self, small):
+        with pytest.raises(GraphError):
+            small.add_edge("e9", "p1", "nope", "x")
+
+    def test_self_loop_rejected(self, small):
+        with pytest.raises(GraphError):
+            small.add_edge("loop", "p1", "p1", "x")
+
+    def test_unknown_node_lookup_fails(self, small):
+        with pytest.raises(GraphError):
+            small.node_type("zzz")
+        with pytest.raises(GraphError):
+            small.neighbors("zzz")
+
+    def test_unknown_edge_lookup_fails(self, small):
+        with pytest.raises(GraphError):
+            small.edge_type("zzz")
+
+
+class TestAdjacency:
+    def test_neighbors(self, small):
+        nbrs = {nbr for _, nbr in small.neighbors("p1")}
+        assert nbrs == {"d1", "u1"}
+
+    def test_degree(self, small):
+        assert small.degree("p1") == 2
+        assert small.degree("d1") == 1
+
+    def test_edges_between(self, small):
+        assert small.edges_between("p1", "d1") == ["e1"]
+        assert small.edges_between("d1", "u1") == []
+
+    def test_parallel_edges_allowed(self, small):
+        small.add_edge("e3", "p1", "d1", "encodes")
+        assert sorted(small.edges_between("p1", "d1")) == ["e1", "e3"]
+        assert small.degree("p1") == 3
+
+    def test_contains(self, small):
+        assert "p1" in small
+        assert "zzz" not in small
+
+    def test_type_counts(self, small):
+        assert small.type_counts() == {"Protein": 1, "DNA": 1, "Unigene": 1}
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self, small):
+        sub = small.subgraph(["p1", "d1"], ["e1"])
+        assert sub.node_count == 2 and sub.edge_count == 1
+
+    def test_subgraph_dangling_edge_fails(self, small):
+        with pytest.raises(GraphError):
+            small.subgraph(["p1"], ["e1"])
+
+    def test_union_merges_shared_ids(self, small):
+        other = build_graph(
+            [("p1", "Protein"), ("d2", "DNA")], [("e9", "p1", "d2", "encodes")]
+        )
+        u = small.union(other)
+        assert u.node_count == 4
+        assert u.edge_count == 3
+
+    def test_union_all(self, small):
+        g1 = small.subgraph(["p1", "d1"], ["e1"])
+        g2 = small.subgraph(["p1", "u1"], ["e2"])
+        u = union_all([g1, g2])
+        assert u.node_count == 3 and u.edge_count == 2
+
+    def test_copy_is_independent(self, small):
+        c = small.copy()
+        c.add_node("x", "Family")
+        assert not small.has_node("x")
+
+
+class TestPath:
+    def test_basic_properties(self, small):
+        p = Path(["d1", "p1", "u1"], ["e1", "e2"], small)
+        assert p.length == 2
+        assert p.source == "d1" and p.target == "u1"
+
+    def test_label_sequence(self, small):
+        p = Path(["d1", "p1", "u1"], ["e1", "e2"], small)
+        assert p.label_sequence() == (
+            "DNA", "encodes", "Protein", "uni_encodes", "Unigene",
+        )
+
+    def test_signature_direction_independent(self, small):
+        p = Path(["d1", "p1", "u1"], ["e1", "e2"], small)
+        assert p.signature() == p.reversed().signature()
+
+    def test_as_graph(self, small):
+        g = Path(["d1", "p1"], ["e1"], small).as_graph()
+        assert g.node_count == 2 and g.edge_count == 1
+
+    def test_non_simple_rejected(self, small):
+        with pytest.raises(GraphError):
+            Path(["p1", "d1", "p1"], ["e1", "e1"], small)
+
+    def test_arity_mismatch_rejected(self, small):
+        with pytest.raises(GraphError):
+            Path(["p1", "d1"], [], small)
+
+    def test_equality_and_hash(self, small):
+        p1 = Path(["d1", "p1"], ["e1"], small)
+        p2 = Path(["d1", "p1"], ["e1"], small)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != p1.reversed()

@@ -1,0 +1,172 @@
+"""Path enumeration: PS(a, b, l) semantics and the single-source
+variant, cross-checked against a brute-force enumerator."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    LabeledGraph,
+    bfs_distances,
+    iter_simple_paths,
+    pairs_within_distance,
+    path_set,
+    paths_from_source,
+)
+
+from tests.conftest import build_graph
+
+
+@pytest.fixture
+def diamond():
+    #   a - m1 - b
+    #   a - m2 - b      plus a pendant node c off m1
+    return build_graph(
+        [("a", "P"), ("b", "D"), ("m1", "U"), ("m2", "U"), ("c", "F")],
+        [
+            ("e1", "a", "m1", "x"),
+            ("e2", "m1", "b", "y"),
+            ("e3", "a", "m2", "x"),
+            ("e4", "m2", "b", "y"),
+            ("e5", "m1", "c", "z"),
+        ],
+    )
+
+
+def brute_force_paths(graph, a, b, max_length):
+    """Exponential reference: enumerate all node sequences."""
+    results = set()
+
+    def extend(seq, edges_used):
+        current = seq[-1]
+        if current == b and len(seq) > 1:
+            results.add((tuple(seq), tuple(edges_used)))
+            return
+        if len(edges_used) == max_length:
+            return
+        for eid, nbr in graph.neighbors(current):
+            if nbr in seq:
+                continue
+            extend(seq + [nbr], edges_used + [eid])
+
+    extend([a], [])
+    return results
+
+
+class TestBfs:
+    def test_distances(self, diamond):
+        dist = bfs_distances(diamond, "a", 3)
+        assert dist["a"] == 0
+        assert dist["m1"] == 1
+        assert dist["b"] == 2
+        assert dist["c"] == 2
+
+    def test_depth_cap(self, diamond):
+        dist = bfs_distances(diamond, "a", 1)
+        assert "b" not in dist
+
+    def test_unknown_source(self, diamond):
+        with pytest.raises(GraphError):
+            bfs_distances(diamond, "zzz", 2)
+
+
+class TestPathSet:
+    def test_two_parallel_paths(self, diamond):
+        paths = path_set(diamond, "a", "b", 2)
+        assert len(paths) == 2
+        assert {p.nodes[1] for p in paths} == {"m1", "m2"}
+
+    def test_length_bound(self, diamond):
+        assert path_set(diamond, "a", "b", 1) == []
+
+    def test_paths_are_simple(self, diamond):
+        for p in path_set(diamond, "a", "b", 4):
+            assert len(set(p.nodes)) == len(p.nodes)
+
+    def test_endpoints(self, diamond):
+        for p in path_set(diamond, "a", "b", 4):
+            assert p.source == "a" and p.target == "b"
+
+    def test_same_node_yields_nothing(self, diamond):
+        assert path_set(diamond, "a", "a", 3) == []
+
+    def test_limit(self, diamond):
+        assert len(path_set(diamond, "a", "b", 4, limit=1)) == 1
+
+    def test_unreachable(self):
+        g = build_graph([("a", "P"), ("b", "D")], [])
+        assert path_set(g, "a", "b", 5) == []
+
+    def test_unknown_nodes(self, diamond):
+        with pytest.raises(GraphError):
+            path_set(diamond, "zzz", "b", 2)
+        with pytest.raises(GraphError):
+            path_set(diamond, "a", "zzz", 2)
+
+    def test_parallel_edges_give_distinct_paths(self):
+        g = build_graph(
+            [("a", "P"), ("b", "D")],
+            [("e1", "a", "b", "x"), ("e2", "a", "b", "x")],
+        )
+        assert len(path_set(g, "a", "b", 1)) == 2
+
+    def test_matches_brute_force_on_diamond(self, diamond):
+        got = {(p.nodes, p.edges) for p in path_set(diamond, "a", "b", 4)}
+        assert got == brute_force_paths(diamond, "a", "b", 4)
+
+
+class TestPathsFromSource:
+    def test_grouped_by_endpoint(self, diamond):
+        grouped = paths_from_source(diamond, "a", 2, "D")
+        assert set(grouped) == {"b"}
+        assert len(grouped["b"]) == 2
+
+    def test_matches_per_pair_enumeration(self, diamond):
+        grouped = paths_from_source(diamond, "a", 4, "U")
+        for target, paths in grouped.items():
+            expected = {(p.nodes, p.edges) for p in path_set(diamond, "a", target, 4)}
+            assert {(p.nodes, p.edges) for p in paths} == expected
+
+    def test_per_pair_limit(self, diamond):
+        grouped = paths_from_source(diamond, "a", 4, "D", per_pair_limit=1)
+        assert len(grouped["b"]) == 1
+
+    def test_source_type_not_included(self, diamond):
+        grouped = paths_from_source(diamond, "a", 3, "P")
+        assert "a" not in grouped
+
+
+class TestPairsWithinDistance:
+    def test_finds_typed_nodes(self, diamond):
+        assert pairs_within_distance(diamond, "a", 2, "D") == ["b"]
+        assert set(pairs_within_distance(diamond, "a", 2, "U")) == {"m1", "m2"}
+
+    def test_excludes_source(self, diamond):
+        assert "a" not in pairs_within_distance(diamond, "a", 3, "P")
+
+
+class TestHypothesisAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_graphs(self, n, m, max_length, seed):
+        rng = random.Random(seed)
+        g = LabeledGraph()
+        for i in range(n):
+            g.add_node(i, rng.choice("PDU"))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        for k, (u, v) in enumerate(pairs[:m]):
+            g.add_edge(f"e{k}", u, v, rng.choice("xy"))
+        a, b = 0, n - 1
+        got = {(p.nodes, p.edges) for p in iter_simple_paths(g, a, b, max_length)}
+        assert got == brute_force_paths(g, a, b, max_length)

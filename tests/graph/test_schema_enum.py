@@ -1,0 +1,89 @@
+"""Possible-topology enumeration (Figure 8 / Section 3.1 counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import biozon_schema_graph
+from repro.core.topologies import topologies_for_pair
+from repro.graph import (
+    count_possible_topologies,
+    enumerate_possible_topologies,
+    graph_from_canonical,
+)
+from repro.graph.schema_enum import SOURCE_ID, TARGET_ID
+
+
+@pytest.fixture(scope="module")
+def biozon():
+    return biozon_schema_graph()
+
+
+class TestTwoTopologies:
+    """l=2 between Protein and DNA: three path classes (direct, via
+    Unigene, via Interaction) with no mergeable intermediates, so every
+    non-empty class subset gives exactly one topology: 7 total
+    (Figure 8's enumeration)."""
+
+    def test_count(self, biozon):
+        assert count_possible_topologies(biozon, "Protein", "DNA", 2) == 7
+
+    def test_class_subsets(self, biozon):
+        tops = enumerate_possible_topologies(biozon, "Protein", "DNA", 2)
+        by_size = {}
+        for t in tops:
+            by_size[t.num_classes] = by_size.get(t.num_classes, 0) + 1
+        assert by_size == {1: 3, 2: 3, 3: 1}
+
+    def test_forms_distinct(self, biozon):
+        tops = enumerate_possible_topologies(biozon, "Protein", "DNA", 2)
+        assert len({t.form for t in tops}) == len(tops)
+
+    def test_each_is_self_consistent(self, biozon):
+        """Every enumerated topology must be realizable: its own graph,
+        treated as data, yields itself via Definition 2."""
+        for t in enumerate_possible_topologies(biozon, "Protein", "DNA", 2):
+            pair = topologies_for_pair(t.graph, SOURCE_ID, TARGET_ID, 2)
+            from repro.graph.canonical import canonical_key
+
+            assert canonical_key(t.graph) in pair.topology_keys
+
+
+class TestCapsAndGrowth:
+    def test_max_results_cap(self, biozon):
+        tops = enumerate_possible_topologies(
+            biozon, "Protein", "DNA", 2, max_results=3
+        )
+        assert len(tops) == 3
+
+    def test_subset_size_cap(self, biozon):
+        tops = enumerate_possible_topologies(
+            biozon, "Protein", "DNA", 2, max_subset_size=1
+        )
+        assert len(tops) == 3
+
+    def test_l3_single_class_count(self, biozon):
+        """With max_subset_size=1 each of the 10 schema path classes
+        yields exactly one (path-shaped) topology."""
+        tops = enumerate_possible_topologies(
+            biozon, "Protein", "DNA", 3, max_subset_size=1
+        )
+        assert len(tops) == 10
+
+    def test_l3_growth_with_mixing(self, biozon):
+        """Allowing two-class combinations must add many intermixed
+        shapes — the combinatorial blow-up behind the paper's 88453."""
+        single = count_possible_topologies(
+            biozon, "Protein", "DNA", 3, max_subset_size=1
+        )
+        pairs = count_possible_topologies(
+            biozon, "Protein", "DNA", 3, max_subset_size=2
+        )
+        assert pairs > single * 4
+
+    def test_interaction_pair_enumeration(self, biozon):
+        tops = enumerate_possible_topologies(biozon, "Protein", "Interaction", 2)
+        assert len(tops) >= 1
+        for t in tops:
+            types = set(t.form[0])
+            assert "Protein" in types and "Interaction" in types

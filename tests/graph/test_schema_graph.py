@@ -1,0 +1,138 @@
+"""Schema graphs and schema-path enumeration — including the paper's
+"ten schema paths of length three or less" count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import biozon_schema_graph
+from repro.errors import SchemaError
+from repro.graph import (
+    SchemaEdge,
+    SchemaGraph,
+    SchemaPath,
+    enumerate_schema_paths,
+    instantiate_template,
+)
+
+
+@pytest.fixture(scope="module")
+def biozon():
+    return biozon_schema_graph()
+
+
+class TestSchemaGraph:
+    def test_entity_types(self, biozon):
+        assert set(biozon.entity_types) == {
+            "Protein", "DNA", "Unigene", "Interaction",
+            "Family", "Pathway", "Structure",
+        }
+
+    def test_eight_relationships(self, biozon):
+        assert len(biozon.relationship_names) == 8
+
+    def test_incident(self, biozon):
+        names = {e.name for e in biozon.incident("Protein")}
+        assert names == {
+            "encodes", "uni_encodes", "interacts_protein", "belongs", "manifests",
+        }
+
+    def test_edge_other(self, biozon):
+        edge = biozon.edge("encodes")
+        assert edge.other("Protein") == "DNA"
+        assert edge.other("DNA") == "Protein"
+        with pytest.raises(SchemaError):
+            edge.other("Unigene")
+
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaGraph(["A", "A"], [])
+
+    def test_duplicate_relationship_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaGraph(["A", "B"], [SchemaEdge("r", "A", "B"), SchemaEdge("r", "B", "A")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaGraph(["A"], [SchemaEdge("r", "A", "Z")])
+
+    def test_as_labeled_graph(self, biozon):
+        g = biozon.as_labeled_graph()
+        assert g.node_count == 7
+        assert g.edge_count == 8
+
+
+class TestSchemaPathEnumeration:
+    def test_paper_count_protein_dna_l3(self, biozon):
+        """Section 1/3.1: ten schema paths of length <= 3 relate
+        Proteins and DNAs."""
+        assert len(enumerate_schema_paths(biozon, "Protein", "DNA", 3)) == 10
+
+    def test_protein_dna_l1(self, biozon):
+        paths = enumerate_schema_paths(biozon, "Protein", "DNA", 1)
+        assert [p.labels for p in paths] == [("Protein", "encodes", "DNA")]
+
+    def test_protein_dna_l2(self, biozon):
+        paths = enumerate_schema_paths(biozon, "Protein", "DNA", 2)
+        assert len(paths) == 3  # direct, via Unigene, via Interaction
+
+    def test_walks_may_repeat_types(self, biozon):
+        paths = enumerate_schema_paths(biozon, "Protein", "DNA", 3)
+        labels = {p.labels for p in paths}
+        assert (
+            "Protein", "encodes", "DNA", "encodes", "Protein", "encodes", "DNA"
+        ) in labels
+
+    def test_reversal_dedup_same_types(self, biozon):
+        paths = enumerate_schema_paths(biozon, "Protein", "Protein", 2)
+        sigs = [p.signature() for p in paths]
+        assert len(sigs) == len(set(sigs))
+
+    def test_path_properties(self, biozon):
+        for p in enumerate_schema_paths(biozon, "Protein", "DNA", 3):
+            assert p.source_type == "Protein"
+            assert p.target_type == "DNA"
+            assert p.length <= 3
+            assert len(p.node_labels) == p.length + 1
+
+    def test_deterministic_order(self, biozon):
+        a = enumerate_schema_paths(biozon, "Protein", "DNA", 3)
+        b = enumerate_schema_paths(biozon, "Protein", "DNA", 3)
+        assert [p.labels for p in a] == [p.labels for p in b]
+
+    def test_unknown_types_rejected(self, biozon):
+        with pytest.raises(SchemaError):
+            enumerate_schema_paths(biozon, "Protein", "Nope", 2)
+
+
+class TestSchemaPathValue:
+    def test_invalid_label_arity(self):
+        with pytest.raises(SchemaError):
+            SchemaPath(("Protein", "encodes"))
+
+    def test_display(self):
+        p = SchemaPath(("Protein", "encodes", "DNA"))
+        assert p.display() == "Protein-encodes-DNA"
+
+    def test_signature_reversal(self):
+        p = SchemaPath(("Protein", "uni_encodes", "Unigene", "uni_contains", "DNA"))
+        q = SchemaPath(("DNA", "uni_contains", "Unigene", "uni_encodes", "Protein"))
+        assert p.signature() == q.signature()
+
+
+class TestTemplates:
+    def test_instantiate_shares_endpoints(self, biozon):
+        paths = enumerate_schema_paths(biozon, "Protein", "DNA", 2)
+        template, node_lists = instantiate_template(paths)
+        assert template.has_node("@a") and template.has_node("@b")
+        for nodes in node_lists:
+            assert nodes[0] == "@a" and nodes[-1] == "@b"
+        # Intermediates are distinct across paths before merging.
+        intermediates = [n for nodes in node_lists for n in nodes[1:-1]]
+        assert len(intermediates) == len(set(intermediates))
+
+    def test_instantiate_type_mismatch(self, biozon):
+        pd = enumerate_schema_paths(biozon, "Protein", "DNA", 1)
+        pi = enumerate_schema_paths(biozon, "Protein", "Interaction", 1)
+        with pytest.raises(SchemaError):
+            instantiate_template(pd + pi)

@@ -1,0 +1,195 @@
+"""Validate the paper's DGJ cost model (Theorem 1 + Appendix A) against
+Monte-Carlo simulation of stack execution.
+
+The simulation materializes random data matching the model's
+independence assumptions exactly (each outer tuple joins ``s*N`` inner
+tuples, each surviving the local filter with probability ``rho``,
+independently), executes the early-terminating probe discipline, and
+counts index probes.  The dynamic program's prediction must land close
+to the simulated mean.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relational.optimizer.dgj_cost import (
+    DgjLevel,
+    GroupParameters,
+    expected_topk_cost,
+    group_parameters,
+    hdgj_stack_cost,
+    idgj_stack_cost,
+    probe_costs,
+    result_probabilities,
+)
+
+
+def simulate_stack(levels, cardinalities, k, rng):
+    """One run: process groups in order; per outer tuple, probe level 1
+    (cost I_1), fan out, filter, recurse; stop a group at its first
+    full-depth survivor; stop everything after k groups succeed."""
+
+    total_cost = 0.0
+
+    def process_tuple(level_idx):
+        """Returns True if this tuple leads to a result."""
+        nonlocal total_cost
+        if level_idx == len(levels):
+            return True
+        level = levels[level_idx]
+        total_cost += level.probe_cost
+        fanout = int(round(level.fanout))
+        for _ in range(fanout):
+            if rng.random() < level.local_selectivity:
+                if process_tuple(level_idx + 1):
+                    return True
+        return False
+
+    found = 0
+    for card in cardinalities:
+        for _ in range(int(card)):
+            if process_tuple(0):
+                found += 1
+                break
+        if found >= k:
+            break
+    return total_cost
+
+
+LEVELS = [
+    DgjLevel(relation_rows=100, probe_cost=1.0, local_selectivity=0.3, join_selectivity=0.02),
+    DgjLevel(relation_rows=50, probe_cost=1.0, local_selectivity=0.5, join_selectivity=0.02),
+]
+
+
+class TestLemmas:
+    def test_result_probabilities_monotone_bounds(self):
+        xs = result_probabilities(LEVELS)
+        assert len(xs) == 3
+        assert xs[-1] == 1.0
+        for x in xs:
+            assert 0.0 <= x <= 1.0
+
+    def test_zero_fanout_means_no_result(self):
+        levels = [DgjLevel(100, 1.0, 0.5, 0.0)]
+        assert result_probabilities(levels)[0] == 0.0
+
+    def test_zero_selectivity_means_no_result(self):
+        levels = [DgjLevel(100, 1.0, 0.0, 0.1)]
+        assert result_probabilities(levels)[0] == 0.0
+
+    def test_certain_result(self):
+        levels = [DgjLevel(10, 1.0, 1.0, 1.0)]
+        assert result_probabilities(levels)[0] == pytest.approx(1.0)
+
+    def test_probe_costs_accumulate(self):
+        deltas = probe_costs(LEVELS)
+        assert deltas[-1] == 0.0
+        assert deltas[0] == pytest.approx(
+            1.0 + LEVELS[0].surviving_fanout * deltas[1]
+        )
+        assert deltas[1] == pytest.approx(1.0)
+
+    def test_probabilities_match_simulation(self):
+        rng = random.Random(42)
+        trials = 4000
+        hits = 0
+        for _ in range(trials):
+
+            def survives(level_idx):
+                if level_idx == len(LEVELS):
+                    return True
+                level = LEVELS[level_idx]
+                for _ in range(int(round(level.fanout))):
+                    if rng.random() < level.local_selectivity and survives(level_idx + 1):
+                        return True
+                return False
+
+            hits += survives(0)
+        simulated = hits / trials
+        predicted = result_probabilities(LEVELS)[0]
+        assert simulated == pytest.approx(predicted, abs=0.05)
+
+
+class TestGroupParameters:
+    def test_np_decreases_with_cardinality(self):
+        params = group_parameters(LEVELS, [1, 5, 50])
+        nps = [p.no_result_probability for p in params]
+        assert nps[0] > nps[1] > nps[2]
+
+    def test_empty_group(self):
+        params = group_parameters(LEVELS, [0])
+        assert params[0].no_result_probability == 1.0
+        assert params[0].first_result_cost == 0.0
+
+    def test_costs_nonnegative(self):
+        for p in group_parameters(LEVELS, [0, 1, 10, 1000]):
+            assert p.no_result_cost >= 0
+            assert p.first_result_cost >= 0
+
+
+class TestTheorem1:
+    def test_zero_k(self):
+        params = group_parameters(LEVELS, [10, 10])
+        assert expected_topk_cost(params, 0) == 0.0
+
+    def test_monotone_in_k(self):
+        params = group_parameters(LEVELS, [10] * 20)
+        costs = [expected_topk_cost(params, k) for k in (1, 3, 5, 10)]
+        assert costs == sorted(costs)
+
+    def test_cost_matches_simulation(self):
+        cards = [8, 3, 12, 5, 20, 1, 9, 15]
+        k = 3
+        predicted = idgj_stack_cost(LEVELS, cards, k)
+        rng = random.Random(7)
+        trials = 600
+        simulated = sum(
+            simulate_stack(LEVELS, cards, k, rng) for _ in range(trials)
+        ) / trials
+        # The DP is an estimator built on independence assumptions; it
+        # must land in the right ballpark (paper uses it only to choose
+        # between plans whose costs differ by orders of magnitude).
+        assert predicted == pytest.approx(simulated, rel=0.35)
+
+    def test_cost_matches_simulation_sparse(self):
+        sparse = [
+            DgjLevel(1000, 1.0, 0.05, 0.001),
+            DgjLevel(1000, 1.0, 0.05, 0.001),
+        ]
+        cards = [50, 100, 30, 200, 80]
+        k = 2
+        predicted = idgj_stack_cost(sparse, cards, k)
+        rng = random.Random(13)
+        trials = 400
+        simulated = sum(
+            simulate_stack(sparse, cards, k, rng) for _ in range(trials)
+        ) / trials
+        assert predicted == pytest.approx(simulated, rel=0.5)
+
+
+class TestStackCostHelpers:
+    def test_idgj_selective_costs_more_than_unselective(self):
+        """Selective predicates force the stack to grind through many
+        groups without results — the effect behind Table 2's ET rows."""
+        selective = [
+            DgjLevel(100, 2.0, 0.05, 0.01),
+            DgjLevel(100, 2.0, 0.05, 0.01),
+        ]
+        unselective = [
+            DgjLevel(100, 2.0, 0.9, 0.01),
+            DgjLevel(100, 2.0, 0.9, 0.01),
+        ]
+        cards = [10] * 50
+        assert idgj_stack_cost(selective, cards, 5) > idgj_stack_cost(
+            unselective, cards, 5
+        )
+
+    def test_hdgj_cost_positive_and_scales(self):
+        cards = [10] * 20
+        small = hdgj_stack_cost(LEVELS, cards, 2)
+        large = hdgj_stack_cost(LEVELS, cards, 10)
+        assert 0 < small <= large

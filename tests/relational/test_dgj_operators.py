@@ -1,0 +1,195 @@
+"""DGJ operators (Section 5.3): group order preservation, skipping,
+and equivalence with regular joins when groups are fully drained."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Column, Database, TableSchema
+from repro.relational.expressions import ColumnRef, Comparison, Contains, Literal
+from repro.relational.operators import (
+    FirstPerGroup,
+    Filter,
+    GroupFilter,
+    HDGJ,
+    IDGJ,
+    HashJoin,
+    OrderedIndexScan,
+    SeqScan,
+)
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def db():
+    db = Database("dgj")
+    topinfo = db.create_table(
+        TableSchema(
+            "TopInfo",
+            [Column("TID", DataType.INT, True), Column("SCORE", DataType.FLOAT)],
+            primary_key="TID",
+        )
+    )
+    topinfo.create_sorted_index("by_score", "SCORE")
+    topinfo.bulk_load([(1, 0.9), (2, 0.8), (3, 0.7), (4, 0.6)])
+
+    pairs = db.create_table(
+        TableSchema(
+            "Pairs",
+            [
+                Column("E1", DataType.INT),
+                Column("E2", DataType.INT),
+                Column("TID", DataType.INT),
+            ],
+        )
+    )
+    pairs.create_hash_index("by_tid", ["TID"])
+    # tid 1: two pairs (one matching); tid 2: no pairs at all;
+    # tid 3: pairs that fail the predicate; tid 4: matching pair.
+    pairs.bulk_load(
+        [
+            (100, 200, 1),
+            (101, 201, 1),
+            (102, 202, 3),
+            (103, 203, 4),
+        ]
+    )
+
+    prot = db.create_table(
+        TableSchema(
+            "Prot",
+            [Column("ID", DataType.INT, True), Column("DESC", DataType.TEXT)],
+            primary_key="ID",
+        )
+    )
+    prot.bulk_load(
+        [
+            (100, "nope"),
+            (101, "enzyme yes"),
+            (102, "nope"),
+            (103, "enzyme yes"),
+        ]
+    )
+    return db
+
+
+def _scan(db):
+    topinfo = db.table("TopInfo")
+    return OrderedIndexScan(
+        topinfo,
+        "t",
+        topinfo.sorted_index_on("SCORE"),
+        descending=True,
+        group_positions=[0],
+        stats=db.stats,
+    )
+
+
+def _idgj_stack(db):
+    scan = _scan(db)
+    pairs = db.table("Pairs")
+    j1 = IDGJ(scan, pairs, "pt", pairs.hash_index_on(["TID"]), [0])
+    prot = db.table("Prot")
+    pred = Contains(ColumnRef("p", "desc"), Literal("enzyme"))
+    return IDGJ(
+        j1, prot, "p", prot.hash_index_on(["ID"]),
+        [j1.layout.position("pt", "e1")], residual=pred,
+    )
+
+
+def _hdgj_stack(db):
+    scan = _scan(db)
+    pairs = db.table("Pairs")
+    j1 = IDGJ(scan, pairs, "pt", pairs.hash_index_on(["TID"]), [0])
+    prot = db.table("Prot")
+
+    def inner():
+        return Filter(
+            SeqScan(prot, "p", db.stats),
+            Contains(ColumnRef("p", "desc"), Literal("enzyme")),
+        )
+
+    return HDGJ(j1, inner, [j1.layout.position("pt", "e1")], [0])
+
+
+class TestGroupOrder:
+    @pytest.mark.parametrize("builder", [_idgj_stack, _hdgj_stack])
+    def test_groups_in_score_order(self, db, builder):
+        rows = builder(db).run()
+        tids = [r[0] for r in rows]
+        # Full drain: qualifying rows come out grouped, best score first.
+        assert tids == sorted(tids, key=lambda t: -{1: 0.9, 3: 0.7, 4: 0.6}.get(t, 0))
+
+    @pytest.mark.parametrize("builder", [_idgj_stack, _hdgj_stack])
+    def test_drain_matches_hash_join(self, db, builder):
+        got = sorted(builder(db).run())
+        # Reference: regular hash joins, same predicate.
+        scan = SeqScan(db.table("TopInfo"), "t", db.stats)
+        j1 = HashJoin(scan, SeqScan(db.table("Pairs"), "pt", db.stats), [0], [2])
+        j2 = HashJoin(
+            j1,
+            Filter(
+                SeqScan(db.table("Prot"), "p", db.stats),
+                Contains(ColumnRef("p", "desc"), Literal("enzyme")),
+            ),
+            [j1.layout.position("pt", "e1")],
+            [0],
+        )
+        assert got == sorted(j2.run())
+
+
+class TestEarlyTermination:
+    def test_first_per_group(self, db):
+        rows = FirstPerGroup(_idgj_stack(db), None).run()
+        assert [r[0] for r in rows] == [1, 4]  # tid 2 empty, tid 3 filtered
+
+    def test_first_per_group_k(self, db):
+        rows = FirstPerGroup(_idgj_stack(db), 1).run()
+        assert [r[0] for r in rows] == [1]
+
+    def test_skipping_saves_work(self, db):
+        db.stats.reset()
+        FirstPerGroup(_idgj_stack(db), 1).run()
+        probes_with_skip = db.stats.index_probes
+        db.stats.reset()
+        _idgj_stack(db).run()
+        probes_full = db.stats.index_probes
+        assert probes_with_skip < probes_full
+
+    def test_hdgj_first_per_group(self, db):
+        rows = FirstPerGroup(_hdgj_stack(db), None).run()
+        assert [r[0] for r in rows] == [1, 4]
+
+    def test_group_filter_preserves_groups(self, db):
+        scan = _scan(db)
+        flt = GroupFilter(scan, Comparison(">", ColumnRef("t", "score"), Literal(0.65)))
+        rows = FirstPerGroup(flt, None).run()
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_advance_on_scan_skips_group(self, db):
+        scan = _scan(db)
+        scan.open()
+        first = scan.next()
+        assert first[0] == 1
+        scan.advance_to_next_group()
+        second = scan.next()
+        assert second[0] == 2
+        scan.close()
+
+
+class TestGroupSemantics:
+    def test_idgj_current_group(self, db):
+        stack = _idgj_stack(db)
+        stack.open()
+        row = stack.next()
+        assert stack.current_group() == row[0]
+        stack.close()
+
+    def test_hdgj_reopens_inner_per_group(self, db):
+        # 4 groups scanned => inner Prot table seq-scanned once per
+        # group that reaches HDGJ (groups with pair rows).
+        db.stats.reset()
+        _hdgj_stack(db).run()
+        # Prot has 4 rows; tids 1,3,4 have pair rows -> >= 2 inner scans
+        # worth of Prot rows beyond a single pass.
+        assert db.stats.rows_scanned > db.table("Prot").row_count + 4

@@ -1,0 +1,205 @@
+"""Expression binding, evaluation, and SQL NULL (Kleene) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlBindError
+from repro.relational.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Contains,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Neg,
+    Not,
+    Or,
+    RowLayout,
+    as_equijoin,
+    conjoin,
+    is_truthy,
+    referenced_aliases,
+    split_conjuncts,
+)
+
+LAYOUT = RowLayout([("p", "id"), ("p", "name"), ("d", "id"), ("d", "score")])
+ROW = (1, "alpha enzyme", 2, 0.5)
+
+
+def ev(expr, row=ROW):
+    return expr.bind(LAYOUT)(row)
+
+
+class TestRowLayout:
+    def test_qualified_position(self):
+        assert LAYOUT.position("p", "id") == 0
+        assert LAYOUT.position("D", "ID") == 2
+
+    def test_unqualified_unique(self):
+        assert LAYOUT.position(None, "name") == 1
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(SqlBindError):
+            LAYOUT.position(None, "id")
+
+    def test_unknown(self):
+        with pytest.raises(SqlBindError):
+            LAYOUT.position("p", "bogus")
+        with pytest.raises(SqlBindError):
+            LAYOUT.position(None, "bogus")
+
+    def test_concat(self):
+        combined = LAYOUT.concat(RowLayout([("x", "a")]))
+        assert combined.arity == 5
+        assert combined.position("x", "a") == 4
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SqlBindError):
+            RowLayout([("p", "id"), ("P", "ID")])
+
+
+class TestScalar:
+    def test_literal(self):
+        assert ev(Literal(42)) == 42
+
+    def test_column_ref(self):
+        assert ev(ColumnRef("p", "name")) == "alpha enzyme"
+
+    def test_arith(self):
+        assert ev(Arith("+", ColumnRef("d", "score"), Literal(0.5))) == 1.0
+        assert ev(Arith("*", Literal(3), Literal(4))) == 12
+
+    def test_arith_null_propagates(self):
+        assert ev(Arith("+", Literal(None), Literal(1))) is None
+
+    def test_neg(self):
+        assert ev(Neg(Literal(5))) == -5
+        assert ev(Neg(Literal(None))) is None
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("<>", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_ops(self, op, left, right, expected):
+        assert ev(Comparison(op, Literal(left), Literal(right))) is expected
+
+    def test_null_is_unknown(self):
+        assert ev(Comparison("=", Literal(None), Literal(1))) is None
+        assert ev(Comparison("<", Literal(1), Literal(None))) is None
+
+    def test_incomparable_types_unknown(self):
+        assert ev(Comparison("<", Literal("a"), Literal(1))) is None
+
+    def test_bang_equals_normalized(self):
+        c = Comparison("!=", Literal(1), Literal(2))
+        assert c.op == "<>"
+
+    def test_bad_operator(self):
+        with pytest.raises(SqlBindError):
+            Comparison("~~", Literal(1), Literal(2))
+
+
+class TestBooleans:
+    def test_and_kleene(self):
+        t, f, u = Literal(True), Literal(False), Comparison("=", Literal(None), Literal(1))
+        assert ev(And([t, t])) is True
+        assert ev(And([t, f])) is False
+        assert ev(And([t, u])) is None
+        assert ev(And([f, u])) is False  # false dominates unknown
+
+    def test_or_kleene(self):
+        t, f, u = Literal(True), Literal(False), Comparison("=", Literal(None), Literal(1))
+        assert ev(Or([f, f])) is False
+        assert ev(Or([f, t])) is True
+        assert ev(Or([f, u])) is None
+        assert ev(Or([t, u])) is True  # true dominates unknown
+
+    def test_not(self):
+        assert ev(Not(Literal(True))) is False
+        assert ev(Not(Comparison("=", Literal(None), Literal(1)))) is None
+
+    def test_is_truthy(self):
+        assert is_truthy(True)
+        assert not is_truthy(False)
+        assert not is_truthy(None)
+
+
+class TestPredicates:
+    def test_contains_case_insensitive(self):
+        assert ev(Contains(ColumnRef("p", "name"), Literal("ENZYME"))) is True
+        assert ev(Contains(ColumnRef("p", "name"), Literal("zzz"))) is False
+
+    def test_contains_null(self):
+        assert ev(Contains(Literal(None), Literal("x"))) is None
+
+    def test_like(self):
+        assert ev(Like(ColumnRef("p", "name"), "alpha%")) is True
+        assert ev(Like(ColumnRef("p", "name"), "%zzz%")) is False
+        assert ev(Like(ColumnRef("p", "name"), "alpha_______")) is True
+
+    def test_like_negated(self):
+        assert ev(Like(ColumnRef("p", "name"), "%zzz%", negated=True)) is True
+
+    def test_in_list(self):
+        assert ev(InList(ColumnRef("p", "id"), [1, 5])) is True
+        assert ev(InList(ColumnRef("p", "id"), [7], negated=True)) is True
+        assert ev(InList(Literal(None), [1])) is None
+
+    def test_is_null(self):
+        assert ev(IsNull(Literal(None))) is True
+        assert ev(IsNull(Literal(1))) is False
+        assert ev(IsNull(Literal(1), negated=True)) is True
+
+
+class TestAnalysisHelpers:
+    def test_split_and_conjoin(self):
+        a = Comparison("=", ColumnRef("p", "id"), Literal(1))
+        b = Comparison("=", ColumnRef("d", "id"), Literal(2))
+        c = And([a, And([b])])
+        parts = split_conjuncts(c)
+        assert parts == [a, b]
+        assert split_conjuncts(None) == []
+        assert conjoin([]) is None
+        assert conjoin([a]) is a
+        assert isinstance(conjoin([a, b]), And)
+
+    def test_referenced_aliases(self):
+        e = Comparison("=", ColumnRef("p", "id"), ColumnRef("d", "id"))
+        assert referenced_aliases(e) == {"p", "d"}
+
+    def test_as_equijoin(self):
+        e = Comparison("=", ColumnRef("p", "id"), ColumnRef("d", "id"))
+        pair = as_equijoin(e)
+        assert pair is not None
+        assert pair[0].qualifier == "p" and pair[1].qualifier == "d"
+
+    def test_as_equijoin_rejects(self):
+        assert as_equijoin(Comparison("<", ColumnRef("p", "id"), ColumnRef("d", "id"))) is None
+        assert as_equijoin(Comparison("=", ColumnRef("p", "id"), Literal(1))) is None
+        assert (
+            as_equijoin(Comparison("=", ColumnRef("p", "id"), ColumnRef("p", "name")))
+            is None
+        )
+
+    def test_column_refs_traversal(self):
+        e = And(
+            [
+                Contains(ColumnRef("p", "name"), Literal("x")),
+                Or([IsNull(ColumnRef("d", "score"))]),
+            ]
+        )
+        assert e.column_refs() == {("p", "name"), ("d", "score")}

@@ -1,0 +1,294 @@
+"""Volcano operators: scans, filters, joins, sort/distinct/union/limit.
+
+Join operators are cross-checked against a brute-force nested-loops
+reference on randomized inputs (hypothesis).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Column, Database, TableSchema
+from repro.relational.expressions import (
+    ColumnRef,
+    Comparison,
+    Contains,
+    Literal,
+    RowLayout,
+)
+from repro.relational.operators import (
+    Distinct,
+    Filter,
+    HashIndexScan,
+    HashJoin,
+    HashSemiJoin,
+    IndexNestedLoopJoin,
+    Limit,
+    NestedLoopJoin,
+    OrderedIndexScan,
+    Project,
+    RowsSource,
+    SeqScan,
+    Sort,
+    SortMergeJoin,
+    TopN,
+    UnionAll,
+)
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def db():
+    db = Database("ops")
+    users = db.create_table(
+        TableSchema(
+            "Users",
+            [Column("ID", DataType.INT, True), Column("NAME", DataType.TEXT)],
+            primary_key="ID",
+        )
+    )
+    users.bulk_load([(1, "ann"), (2, "bob"), (3, "cara enzyme"), (4, "dan")])
+    orders = db.create_table(
+        TableSchema(
+            "Orders",
+            [
+                Column("ID", DataType.INT, True),
+                Column("UID", DataType.INT),
+                Column("AMOUNT", DataType.FLOAT),
+            ],
+            primary_key="ID",
+        )
+    )
+    orders.create_hash_index("by_uid", ["UID"])
+    orders.create_sorted_index("by_amount", "AMOUNT")
+    orders.bulk_load(
+        [
+            (10, 1, 5.0),
+            (11, 1, 7.5),
+            (12, 2, 1.0),
+            (13, 3, 9.0),
+            (14, None, 2.0),
+        ]
+    )
+    return db
+
+
+class TestScans:
+    def test_seq_scan(self, db):
+        rows = SeqScan(db.table("Users"), "u", db.stats).run()
+        assert len(rows) == 4
+        assert db.stats.rows_scanned >= 4
+
+    def test_hash_index_scan(self, db):
+        orders = db.table("Orders")
+        idx = orders.hash_index_on(["UID"])
+        rows = HashIndexScan(orders, "o", idx, 1, db.stats).run()
+        assert {r[0] for r in rows} == {10, 11}
+
+    def test_hash_index_scan_miss(self, db):
+        orders = db.table("Orders")
+        idx = orders.hash_index_on(["UID"])
+        assert HashIndexScan(orders, "o", idx, 999, db.stats).run() == []
+
+    def test_ordered_index_scan(self, db):
+        orders = db.table("Orders")
+        idx = orders.sorted_index_on("AMOUNT")
+        rows = OrderedIndexScan(orders, "o", idx, stats=db.stats).run()
+        amounts = [r[2] for r in rows]
+        assert amounts == sorted(amounts)
+
+    def test_ordered_index_scan_desc(self, db):
+        orders = db.table("Orders")
+        idx = orders.sorted_index_on("AMOUNT")
+        rows = OrderedIndexScan(orders, "o", idx, descending=True, stats=db.stats).run()
+        amounts = [r[2] for r in rows]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_rows_source(self, db):
+        layout = RowLayout([("x", "a")])
+        assert RowsSource([(1,), (2,)], layout, db.stats).run() == [(1,), (2,)]
+
+
+class TestRowOperators:
+    def test_filter(self, db):
+        scan = SeqScan(db.table("Users"), "u", db.stats)
+        pred = Contains(ColumnRef("u", "name"), Literal("enzyme"))
+        rows = Filter(scan, pred).run()
+        assert [r[0] for r in rows] == [3]
+
+    def test_project(self, db):
+        scan = SeqScan(db.table("Users"), "u", db.stats)
+        proj = Project(scan, [ColumnRef("u", "id")], ["uid"])
+        assert proj.run() == [(1,), (2,), (3,), (4,)]
+        assert proj.layout.position(None, "uid") == 0
+
+    def test_distinct(self, db):
+        layout = RowLayout([("x", "a")])
+        src = RowsSource([(1,), (2,), (1,), (3,), (2,)], layout, db.stats)
+        assert Distinct(src).run() == [(1,), (2,), (3,)]
+
+    def test_limit(self, db):
+        scan = SeqScan(db.table("Users"), "u", db.stats)
+        assert len(Limit(scan, 2).run()) == 2
+
+    def test_limit_zero(self, db):
+        scan = SeqScan(db.table("Users"), "u", db.stats)
+        assert Limit(scan, 0).run() == []
+
+    def test_union_all(self, db):
+        layout = RowLayout([("x", "a")])
+        u = UnionAll(
+            [
+                RowsSource([(1,)], layout, db.stats),
+                RowsSource([(2,), (3,)], layout, db.stats),
+            ]
+        )
+        assert u.run() == [(1,), (2,), (3,)]
+
+
+class TestSorting:
+    def test_sort_asc_desc(self, db):
+        layout = RowLayout([("x", "a"), ("x", "b")])
+        rows = [(3, "c"), (1, "a"), (2, "b"), (None, "n")]
+        src = RowsSource(rows, layout, db.stats)
+        out = Sort(src, [(ColumnRef("x", "a"), False)]).run()
+        assert [r[0] for r in out] == [1, 2, 3, None]  # NULLS LAST
+        src = RowsSource(rows, layout, db.stats)
+        out = Sort(src, [(ColumnRef("x", "a"), True)]).run()
+        assert [r[0] for r in out] == [3, 2, 1, None]  # NULLS LAST
+
+    def test_sort_multi_key(self, db):
+        layout = RowLayout([("x", "a"), ("x", "b")])
+        rows = [(1, 2), (1, 1), (0, 9)]
+        src = RowsSource(rows, layout, db.stats)
+        out = Sort(
+            src, [(ColumnRef("x", "a"), False), (ColumnRef("x", "b"), True)]
+        ).run()
+        assert out == [(0, 9), (1, 2), (1, 1)]
+
+    def test_topn_matches_sort_limit(self, db):
+        layout = RowLayout([("x", "a")])
+        rng = random.Random(5)
+        rows = [(rng.randint(0, 50),) for _ in range(100)]
+        keys = [(ColumnRef("x", "a"), True)]
+        top = TopN(RowsSource(rows, layout, db.stats), keys, 7).run()
+        ref = Limit(Sort(RowsSource(rows, layout, db.stats), keys), 7).run()
+        assert [r[0] for r in top] == [r[0] for r in ref]
+
+    def test_topn_zero(self, db):
+        layout = RowLayout([("x", "a")])
+        src = RowsSource([(1,)], layout, db.stats)
+        assert TopN(src, [(ColumnRef("x", "a"), False)], 0).run() == []
+
+
+def _join_reference(left_rows, right_rows, lkey, rkey):
+    out = []
+    for l in left_rows:
+        for r in right_rows:
+            if l[lkey] is not None and l[lkey] == r[rkey]:
+                out.append(l + r)
+    return out
+
+
+class TestJoins:
+    def _operands(self, db):
+        users = SeqScan(db.table("Users"), "u", db.stats)
+        orders = SeqScan(db.table("Orders"), "o", db.stats)
+        return users, orders
+
+    def test_hash_join(self, db):
+        users, orders = self._operands(db)
+        joined = HashJoin(users, orders, [0], [1]).run()
+        expected = _join_reference(
+            list(db.table("Users").rows), list(db.table("Orders").rows), 0, 1
+        )
+        assert sorted(joined) == sorted(expected)
+
+    def test_hash_join_null_keys_never_match(self, db):
+        users, orders = self._operands(db)
+        joined = HashJoin(orders, users, [1], [0]).run()
+        assert all(row[1] is not None for row in joined)
+
+    def test_hash_join_residual(self, db):
+        users, orders = self._operands(db)
+        residual = Comparison(">", ColumnRef("o", "amount"), Literal(6.0))
+        joined = HashJoin(users, orders, [0], [1], residual).run()
+        assert {row[2] for row in joined} == {11, 13}
+
+    def test_index_nested_loop_join(self, db):
+        users = SeqScan(db.table("Users"), "u", db.stats)
+        orders = db.table("Orders")
+        joined = IndexNestedLoopJoin(
+            users, orders, "o", orders.hash_index_on(["UID"]), [0]
+        ).run()
+        expected = _join_reference(
+            list(db.table("Users").rows), list(orders.rows), 0, 1
+        )
+        assert sorted(joined) == sorted(expected)
+
+    def test_nested_loop_theta_join(self, db):
+        users, orders = self._operands(db)
+        pred = Comparison("<", ColumnRef("u", "id"), ColumnRef("o", "uid"))
+        joined = NestedLoopJoin(users, orders, pred).run()
+        for row in joined:
+            assert row[0] < row[3]
+
+    def test_sort_merge_join(self, db):
+        users, orders = self._operands(db)
+        joined = SortMergeJoin(users, orders, [0], [1]).run()
+        expected = _join_reference(
+            list(db.table("Users").rows), list(db.table("Orders").rows), 0, 1
+        )
+        assert sorted(joined) == sorted(expected)
+
+    def test_semi_join(self, db):
+        users, orders = self._operands(db)
+        rows = HashSemiJoin(users, orders, [0], [1]).run()
+        assert {r[0] for r in rows} == {1, 2, 3}
+
+    def test_anti_join(self, db):
+        users, orders = self._operands(db)
+        rows = HashSemiJoin(users, orders, [0], [1], negated=True).run()
+        assert {r[0] for r in rows} == {4}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 3)), max_size=20),
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 3)), max_size=20),
+    )
+    def test_joins_agree_with_reference(self, left_rows, right_rows):
+        layout_l = RowLayout([("l", "k"), ("l", "v")])
+        layout_r = RowLayout([("r", "k"), ("r", "v")])
+        from repro.relational.database import ExecStats
+
+        stats = ExecStats()
+        expected = sorted(_join_reference(left_rows, right_rows, 0, 0))
+        hj = HashJoin(
+            RowsSource(list(left_rows), layout_l, stats),
+            RowsSource(list(right_rows), layout_r, stats),
+            [0],
+            [0],
+        ).run()
+        smj = SortMergeJoin(
+            RowsSource(list(left_rows), layout_l, stats),
+            RowsSource(list(right_rows), layout_r, stats),
+            [0],
+            [0],
+        ).run()
+        nlj = NestedLoopJoin(
+            RowsSource(list(left_rows), layout_l, stats),
+            RowsSource(list(right_rows), layout_r, stats),
+            Comparison("=", ColumnRef("l", "k"), ColumnRef("r", "k")),
+        ).run()
+        assert sorted(hj) == expected
+        assert sorted(smj) == expected
+        assert sorted(nlj) == expected
+
+    def test_explain_tree(self, db):
+        users, orders = self._operands(db)
+        join = HashJoin(users, orders, [0], [1])
+        text = join.explain()
+        assert "HashJoin" in text and "SeqScan" in text
