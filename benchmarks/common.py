@@ -8,6 +8,14 @@ reproduced tables on disk.
 Scale: ``REPRO_BENCH_SCALE`` ∈ {tiny, small, medium} (default small)
 controls the synthetic dataset size.  All claims checked here are shape
 claims (who wins, what distribution looks like), never absolute times.
+
+Snapshot reuse: the offline build dominates harness start-up, so
+``built_system`` persists each built system under
+``benchmarks/.snapshots/`` (via :mod:`repro.persist`) and restores it on
+later runs instead of rebuilding.  Set ``REPRO_BENCH_SNAPSHOTS=0`` to
+force a fresh build (e.g. after changing the generator or the offline
+pipeline); stale or incompatible snapshot files are rebuilt
+automatically when the snapshot schema version changes.
 """
 
 from __future__ import annotations
@@ -17,10 +25,14 @@ import pathlib
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
+import repro
 from repro.biozon import BiozonConfig, generate
 from repro.core import TopologySearchSystem
+from repro.errors import TopologyError
+from repro.persist import SCHEMA_VERSION, load_system, save_system
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SNAPSHOT_DIR = pathlib.Path(__file__).parent / ".snapshots"
 
 # Figure 11's four curves: PD, DU, PI, PU.
 FIG11_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -47,15 +59,45 @@ def dataset(seed: int = 7):
     return generate(bench_config(seed))
 
 
+def snapshots_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_SNAPSHOTS", "1") != "0"
+
+
+def snapshot_path(
+    pairs: Tuple[Tuple[str, str], ...], max_length: int, seed: int
+) -> pathlib.Path:
+    """Deterministic per-configuration snapshot file name.  Both the
+    snapshot format version and the engine version are part of the
+    name, so incompatible old files — or systems built by an older
+    engine/generator — are ignored and rebuilt rather than silently
+    served stale."""
+    pair_part = "+".join(f"{a}-{b}" for a, b in pairs)
+    name = (
+        f"{bench_scale()}-seed{seed}-l{max_length}-{pair_part}"
+        f"-v{SCHEMA_VERSION}-e{repro.__version__}.topo"
+    )
+    return SNAPSHOT_DIR / name
+
+
 @lru_cache(maxsize=4)
 def built_system(
     pairs: Tuple[Tuple[str, str], ...] = (("Protein", "DNA"), ("Protein", "Interaction")),
     max_length: int = 3,
     seed: int = 7,
 ) -> TopologySearchSystem:
+    """A built system for this configuration, restored from a disk
+    snapshot when one exists (see module docstring)."""
+    path = snapshot_path(pairs, max_length, seed)
+    if snapshots_enabled() and path.exists():
+        try:
+            return load_system(path)
+        except TopologyError:
+            path.unlink()  # corrupt/stale snapshot: rebuild below
     ds = dataset(seed)
     system = TopologySearchSystem(ds.database, ds.graph())
     system.build(list(pairs), max_length=max_length)
+    if snapshots_enabled():
+        save_system(system, path)
     return system
 
 

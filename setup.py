@@ -1,6 +1,50 @@
-"""Legacy setup shim so `pip install -e .` works without the `wheel`
-package (the execution environment is offline)."""
+"""Packaging for the topology-search reproduction (src/ layout).
 
-from setuptools import setup
+``pip install -e .`` makes ``import repro`` work without PYTHONPATH
+hacks.  The library is stdlib-only by design (the SQLite persistence
+layer uses the built-in ``sqlite3``); test/benchmark extras are the only
+optional dependencies.
+"""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single-source the version from repro/__init__.py."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "__init__.py")) as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.M)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="topology-search-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Topology Search over Biological Databases' "
+        "(Guo, Shanmugasundaram, Yona; ICDE 2007): offline topology computation, "
+        "nine query methods, SQLite persistence, and a cached query service"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[],  # stdlib only
+    extras_require={
+        "test": ["pytest"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Bio-Informatics",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

@@ -12,11 +12,15 @@ Packages:
 * :mod:`repro.core` — topology definitions, the offline
   computation/pruning pipeline, and the nine query methods (Sections
   2-6);
+* :mod:`repro.persist` — schema-versioned SQLite snapshots of a built
+  system (save once, cold-start in milliseconds);
+* :mod:`repro.service` — the online query service: LRU result cache,
+  batched execution, per-method latency statistics;
 * :mod:`repro.analysis` — frequency distributions, Zipf fits, report
   rendering for the benchmark harnesses.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     AttributeConstraint,

@@ -68,6 +68,9 @@ class TopologySearchSystem:
         self.stats = StatsCatalog(database)
         self.engine = Engine(database, self.stats)
         self.build_report: Optional[BuildReport] = None
+        # Bumped on every (re)build or snapshot restore; caches layered on
+        # top of the system (e.g. repro.service) key their validity on it.
+        self.build_generation: int = 0
         self._methods: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -106,6 +109,7 @@ class TopologySearchSystem:
         self.max_length = max_length
         self.built_pairs = [tuple(p) for p in entity_pairs]
         self._methods.clear()
+        self.build_generation += 1
         self.build_report = BuildReport(
             alltops=alltops_report,
             pruning=prune_report,
@@ -117,6 +121,51 @@ class TopologySearchSystem:
         if self.store is None:
             raise TopologyError("offline phase not run: call build() first")
         return self.store
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.persist for the snapshot format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a snapshot of the built system to ``path`` (SQLite)."""
+        from repro.persist import save_system
+
+        save_system(self, path)
+
+    @classmethod
+    def from_snapshot(cls, path) -> "TopologySearchSystem":
+        """Restore a system from a snapshot written by :meth:`save` —
+        the millisecond-scale cold start that replaces rerunning
+        :meth:`build`."""
+        from repro.persist import load_system
+
+        return load_system(path)
+
+    def adopt_store(
+        self,
+        store: TopologyStore,
+        max_length: int,
+        built_pairs: Sequence[Tuple[str, str]],
+        include_alltops: bool = True,
+        validate: bool = False,
+    ) -> None:
+        """Install an externally restored store: materialize its derived
+        tables and refresh the engine state, without recomputing AllTops.
+
+        This is the restore-side counterpart of :meth:`build`; the
+        persistence layer calls it after rebuilding the store and the
+        base database from a snapshot."""
+        store.materialize(
+            self.database, include_alltops=include_alltops, validate=validate
+        )
+        # Invalidate rather than refresh: statistics recollect lazily on
+        # first use, keeping the snapshot-restore cold start minimal.
+        self.stats.invalidate()
+        self.store = store
+        self.max_length = max_length
+        self.built_pairs = [tuple(p) for p in built_pairs]
+        self._methods.clear()
+        self.build_generation += 1
+        self.build_report = None
 
     # ------------------------------------------------------------------
     # Query orientation helpers

@@ -159,13 +159,117 @@ class TopologyStore:
         return [(e1, e2) for e1, e2, t in self.alltops_rows if t == tid]
 
     # ------------------------------------------------------------------
+    # Snapshot export / import (used by repro.persist)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """The store's full state as plain-Python containers.
+
+        ``pair_tids`` and ``_tid_by_key`` are omitted: both are derived
+        (from ``alltops_rows`` and ``topologies`` respectively) and are
+        rebuilt by :meth:`from_state`.
+        """
+        if not self._finalized:
+            self.finalize()
+        return {
+            "topologies": [
+                {
+                    "tid": t.tid,
+                    "key": t.key,
+                    "entity_pair": list(t.entity_pair),
+                    "endpoint_indices": list(t.endpoint_indices),
+                    "class_signatures": [list(s) for s in t.class_signatures],
+                    "frequency": t.frequency,
+                    "scores": dict(t.scores),
+                }
+                for t in self.topologies.values()
+            ],
+            "alltops_rows": list(self.alltops_rows),
+            "lefttops_rows": list(self.lefttops_rows),
+            "excptops_rows": list(self.excptops_rows),
+            "pruned_tids": sorted(self.pruned_tids),
+            "pairs": [
+                {
+                    "e1": e1,
+                    "e2": e2,
+                    "entity_pair": list(self.pair_entity_types[(e1, e2)]),
+                    # Sorted: pair classes live in a frozenset, whose
+                    # iteration order varies with construction history;
+                    # the export must be canonical so round-trips and
+                    # file diffs compare equal.
+                    "class_signatures": sorted(list(s) for s in classes),
+                }
+                for (e1, e2), classes in self.pair_classes.items()
+            ],
+            "truncated_pairs": self.truncated_pairs,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        weak_rules: Optional[WeakPathRules] = None,
+    ) -> "TopologyStore":
+        """Rebuild a finalized store from :meth:`export_state` output."""
+        store = cls(weak_rules)
+        for record in state["topologies"]:
+            tid = record["tid"]
+            entity_pair = tuple(record["entity_pair"])
+            signatures = record["class_signatures"]
+            if not (
+                isinstance(signatures, tuple)
+                and all(isinstance(s, tuple) for s in signatures)
+            ):  # loaders may pass pre-interned tuples; normalize otherwise
+                signatures = tuple(tuple(s) for s in signatures)
+            topology = Topology(
+                tid=tid,
+                key=record["key"],
+                entity_pair=entity_pair,
+                endpoint_indices=tuple(record["endpoint_indices"]),
+                class_signatures=signatures,
+                frequency=record["frequency"],
+                scores=dict(record["scores"]),
+            )
+            store.topologies[tid] = topology
+            store._tid_by_key[(topology.key, entity_pair)] = tid
+        store.alltops_rows = [
+            r if type(r) is tuple else tuple(r) for r in state["alltops_rows"]
+        ]
+        store.lefttops_rows = [
+            r if type(r) is tuple else tuple(r) for r in state["lefttops_rows"]
+        ]
+        store.excptops_rows = [
+            r if type(r) is tuple else tuple(r) for r in state["excptops_rows"]
+        ]
+        store.pruned_tids = set(state["pruned_tids"])
+        for record in state["pairs"]:
+            pair: PairKey = (record["e1"], record["e2"])
+            store.pair_entity_types[pair] = tuple(record["entity_pair"])
+            classes = record["class_signatures"]
+            if not isinstance(classes, frozenset):
+                classes = frozenset(tuple(s) for s in classes)
+            store.pair_classes[pair] = classes
+            store.pair_tids[pair] = set()
+        for e1, e2, tid in store.alltops_rows:
+            store.pair_tids.setdefault((e1, e2), set()).add(tid)
+        store.truncated_pairs = int(state["truncated_pairs"])
+        store._finalized = True
+        return store
+
+    # ------------------------------------------------------------------
     # Materialization into the relational database
     # ------------------------------------------------------------------
-    def materialize(self, db: Database, include_alltops: bool = True) -> None:
+    def materialize(
+        self,
+        db: Database,
+        include_alltops: bool = True,
+        validate: bool = True,
+    ) -> None:
         """Create and load TopInfo, AllTops, LeftTops, ExcpTops.
 
         Drops previous versions if present (the offline phase reruns in
-        bulk, per Section 3.2)."""
+        bulk, per Section 3.2).  ``validate=False`` skips per-row type
+        checks — the snapshot-restore path re-materializes rows that
+        already passed validation when they were first computed."""
         if not self._finalized:
             self.finalize()
         integer, real, text = DataType.INT, DataType.FLOAT, DataType.TEXT
@@ -183,21 +287,23 @@ class TopologyStore:
             Column("PRUNED", DataType.BOOL, True),
         ] + [Column(score_column(s), real, True) for s in RANKING_SCHEMES]
         topinfo = db.create_table(TableSchema("TopInfo", topinfo_columns, primary_key="TID"))
-        topinfo.bulk_load(
-            [
-                (
-                    t.tid,
-                    t.entity_pair[0],
-                    t.entity_pair[1],
-                    t.key,
-                    t.frequency,
-                    t.num_classes,
-                    t.tid in self.pruned_tids,
-                )
-                + tuple(t.scores[s] for s in RANKING_SCHEMES)
-                for t in self.topologies.values()
-            ]
-        )
+        topinfo_rows = [
+            (
+                t.tid,
+                t.entity_pair[0],
+                t.entity_pair[1],
+                t.key,
+                t.frequency,
+                t.num_classes,
+                t.tid in self.pruned_tids,
+            )
+            + tuple(float(t.scores[s]) for s in RANKING_SCHEMES)
+            for t in self.topologies.values()
+        ]
+        if validate:
+            topinfo.bulk_load(topinfo_rows)
+        else:
+            topinfo.load_rows_unchecked(topinfo_rows)
         for scheme in RANKING_SCHEMES:
             topinfo.create_sorted_index(f"by_{scheme}", score_column(scheme))
 
@@ -211,7 +317,10 @@ class TopologyStore:
                 ],
             )
             table = db.create_table(schema)
-            table.bulk_load(rows)
+            if validate:
+                table.bulk_load(rows)
+            else:
+                table.load_rows_unchecked(rows)
             table.create_hash_index("by_e1", ["E1"])
             table.create_hash_index("by_e2", ["E2"])
             table.create_hash_index("by_tid", ["TID"])

@@ -1,0 +1,26 @@
+"""Durable snapshots of the offline phase (save once, load anywhere).
+
+>>> from repro.persist import save_system, load_system
+>>> save_system(system, "biozon.topo")          # after system.build(...)
+>>> system = load_system("biozon.topo")         # milliseconds, no build()
+
+See :mod:`repro.persist.snapshot` for the on-disk format.
+"""
+
+from repro.persist.snapshot import (
+    DERIVED_TABLES,
+    SCHEMA_VERSION,
+    SnapshotInfo,
+    load_system,
+    save_system,
+    snapshot_info,
+)
+
+__all__ = [
+    "DERIVED_TABLES",
+    "SCHEMA_VERSION",
+    "SnapshotInfo",
+    "load_system",
+    "save_system",
+    "snapshot_info",
+]

@@ -1,0 +1,108 @@
+"""Value and schema codecs for the SQLite snapshot format.
+
+The in-memory engine's cell values are exactly the four
+:class:`~repro.relational.types.DataType` kinds (plus ``NULL``), all of
+which SQLite stores natively — except ``BOOL``, which is widened to an
+``INTEGER`` 0/1 and narrowed back on load.  Schemas, index definitions,
+and the topology catalog's nested tuples travel as JSON text.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+# SQLite column affinity per engine data type.
+SQLITE_TYPES: Dict[DataType, str] = {
+    DataType.INT: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.TEXT: "TEXT",
+    DataType.BOOL: "INTEGER",
+}
+
+
+def encode_cell(dtype: DataType, value: Any) -> Any:
+    """Engine cell value -> SQLite storage value."""
+    if value is None:
+        return None
+    if dtype is DataType.BOOL:
+        return int(value)
+    return value
+
+
+def cell_decoder(dtype: DataType) -> Optional[Callable[[Any], Any]]:
+    """A per-column decoder, or ``None`` when SQLite round-trips the
+    value natively (INT, FLOAT, and TEXT all do; only BOOL is widened
+    to INTEGER on disk).  Callers skip the decode loop entirely for
+    all-native tables — the common case, since the Biozon base schema
+    has no BOOL columns."""
+    if dtype is DataType.BOOL:
+        return lambda v: None if v is None else bool(v)
+    return None
+
+
+def schema_to_json(schema: TableSchema) -> str:
+    return json.dumps(
+        {
+            "name": schema.name,
+            "primary_key": schema.primary_key,
+            "columns": [
+                {"name": c.name, "dtype": c.dtype.value, "not_null": c.not_null}
+                for c in schema.columns
+            ],
+        }
+    )
+
+
+def schema_from_json(text: str) -> TableSchema:
+    data = json.loads(text)
+    return TableSchema(
+        data["name"],
+        [
+            Column(c["name"], DataType(c["dtype"]), c["not_null"])
+            for c in data["columns"]
+        ],
+        primary_key=data["primary_key"],
+    )
+
+
+def check_endpoint(value: Any) -> Any:
+    """Validate a pair-endpoint value for native SQLite storage.
+
+    Endpoints are opaque at the store level, but to keep load fast they
+    are stored in untyped (NONE-affinity) columns, which round-trip
+    ints, floats, strings, and NULL exactly.  Anything else (including
+    bool, which SQLite would silently flatten to an int) is rejected at
+    save time rather than corrupted."""
+    if value is None or (
+        not isinstance(value, bool) and isinstance(value, (int, float, str))
+    ):
+        return value
+    raise TopologyError(
+        f"cannot snapshot entity id {value!r}: snapshot endpoints must be "
+        f"int, float, str, or None"
+    )
+
+
+def sanitize_identifier(name: str) -> str:
+    """A snapshot-internal table-name fragment safe to splice into SQL."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def signatures_to_json(signatures: Sequence[Sequence[str]]) -> str:
+    return json.dumps([list(s) for s in signatures])
+
+
+def signatures_from_json(text: str) -> List[Tuple[str, ...]]:
+    return [tuple(s) for s in json.loads(text)]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise a :class:`TopologyError` for a malformed snapshot."""
+    if not condition:
+        raise TopologyError(message)

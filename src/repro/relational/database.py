@@ -7,7 +7,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import CatalogError
 from repro.relational.schema import TableSchema
-from repro.relational.table import Table
+from repro.relational.table import Row, Table
 
 
 @dataclass
@@ -49,6 +49,24 @@ class ExecStats:
         }
 
 
+@dataclass
+class TableDump:
+    """One table's full state in plain-Python form: the schema, the
+    declared secondary indexes, and an iterator over the rows.
+
+    Produced by :meth:`Database.dump_tables` and consumed by
+    :meth:`Database.restore_table`; the persistence layer
+    (:mod:`repro.persist`) moves these through SQLite without knowing
+    anything about table internals.
+    """
+
+    schema: TableSchema
+    hash_indexes: List[tuple]    # (name, [column, ...])
+    sorted_indexes: List[tuple]  # (name, [column])
+    rows: Iterator[Row]
+    row_count: int
+
+
 class Database:
     """A named collection of :class:`Table` objects.
 
@@ -88,6 +106,45 @@ class Database:
 
     def tables(self) -> Iterator[Table]:
         return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Dump / restore (snapshot support)
+    # ------------------------------------------------------------------
+    def dump_tables(
+        self, exclude: Optional[Sequence[str]] = None
+    ) -> Iterator[TableDump]:
+        """Yield every table (optionally excluding some by name) as a
+        :class:`TableDump`, in catalog order."""
+        skip = {name.lower() for name in (exclude or ())}
+        for table in self._tables.values():
+            if table.schema.name.lower() in skip:
+                continue
+            defs = table.index_definitions()
+            yield TableDump(
+                schema=table.schema,
+                hash_indexes=defs["hash"],
+                sorted_indexes=defs["sorted"],
+                rows=iter(table.rows),
+                row_count=table.row_count,
+            )
+
+    def restore_table(self, dump: TableDump, validate: bool = False) -> Table:
+        """Create a table from a :class:`TableDump`: schema, declared
+        indexes, then the rows (unchecked by default — dumps come from
+        rows this schema already validated)."""
+        table = self.create_table(dump.schema)
+        existing = table.index_definitions()
+        have_hash = {name for name, _ in existing["hash"]}  # auto "pk"
+        for name, columns in dump.hash_indexes:
+            if name not in have_hash:
+                table.create_hash_index(name, columns)
+        for name, columns in dump.sorted_indexes:
+            table.create_sorted_index(name, columns[0])
+        if validate:
+            table.bulk_load(dump.rows)
+        else:
+            table.load_rows_unchecked(dump.rows)
+        return table
 
     def total_bytes(self) -> int:
         return sum(t.estimated_bytes() for t in self._tables.values())

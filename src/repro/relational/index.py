@@ -33,6 +33,21 @@ class HashIndex:
     def insert(self, row: Sequence[Any], position: int) -> None:
         self._buckets.setdefault(self.key_of(row), []).append(position)
 
+    def bulk_build(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Rebuild from scratch in one pass (bulk-load / restore path);
+        noticeably faster than per-row :meth:`insert` calls."""
+        buckets: Dict[Any, List[int]] = {}
+        if len(self.column_positions) == 1:
+            p = self.column_positions[0]
+            for position, row in enumerate(rows):
+                buckets.setdefault(row[p], []).append(position)
+        else:
+            positions = self.column_positions
+            for position, row in enumerate(rows):
+                key = tuple(row[p] for p in positions)
+                buckets.setdefault(key, []).append(position)
+        self._buckets = buckets
+
     def lookup(self, key: Any) -> List[int]:
         return self._buckets.get(key, [])
 

@@ -158,6 +158,16 @@ class StatsCatalog:
                 table, self._index_keywords
             )
 
+    def invalidate(self, table_name: Optional[str] = None) -> None:
+        """Drop cached statistics (for one table or all) without
+        recollecting; the next :meth:`table_stats` call recollects
+        lazily.  Cheaper than :meth:`refresh` when the next queries may
+        only touch a few tables (e.g. right after a snapshot restore)."""
+        if table_name is not None:
+            self._tables.pop(table_name.lower(), None)
+        else:
+            self._tables.clear()
+
     def table_stats(self, table_name: str) -> TableStats:
         key = table_name.lower()
         if key not in self._tables:

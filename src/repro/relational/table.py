@@ -36,8 +36,7 @@ class Table:
             raise CatalogError(f"index {name!r} already exists on {self.schema.name!r}")
         positions = [self.schema.column_position(c) for c in columns]
         index = HashIndex(name, positions)
-        for pos, row in enumerate(self.rows):
-            index.insert(row, pos)
+        index.bulk_build(self.rows)
         self._hash_indexes[name] = index
         return index
 
@@ -110,6 +109,42 @@ class Table:
             for index in self._sorted_indexes.values():
                 index.bulk_build(self.rows)
         return count
+
+    def load_rows_unchecked(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows without per-row validation or duplicate-key
+        checks, then rebuild every index once.
+
+        Fast path for snapshot restore: the rows were validated by this
+        same schema when they were first inserted, so re-checking them on
+        load only slows the cold start down.  Returns the rows appended.
+        """
+        base = len(self.rows)
+        self.rows.extend(row if type(row) is tuple else tuple(row) for row in rows)
+        count = len(self.rows) - base
+        for index in self._hash_indexes.values():
+            if base == 0:
+                index.bulk_build(self.rows)
+            else:
+                for position in range(base, len(self.rows)):
+                    index.insert(self.rows[position], position)
+        for index in self._sorted_indexes.values():
+            index.bulk_build(self.rows)
+        return count
+
+    def index_definitions(self) -> Dict[str, List[Tuple[str, List[str]]]]:
+        """Declared secondary indexes as (name, column names) pairs,
+        keyed by kind — the catalog part of a table dump."""
+        names = self.schema.column_names
+        return {
+            "hash": [
+                (index.name, [names[p] for p in index.column_positions])
+                for index in self._hash_indexes.values()
+            ],
+            "sorted": [
+                (index.name, [names[index.column_position]])
+                for index in self._sorted_indexes.values()
+            ],
+        }
 
     @property
     def row_count(self) -> int:

@@ -1,0 +1,20 @@
+"""Online query service: cached, batched, instrumented dispatch.
+
+>>> from repro.service import TopologyService
+>>> service = TopologyService.from_snapshot("biozon.topo")
+>>> result = service.query(query)            # engine execution
+>>> result = service.query(query)            # LRU cache hit
+>>> service.cache_stats().hit_rate
+0.5
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.facade import DEFAULT_METHOD, LatencyStats, TopologyService
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_METHOD",
+    "LRUCache",
+    "LatencyStats",
+    "TopologyService",
+]

@@ -1,0 +1,84 @@
+"""A small LRU result cache with hit/miss accounting.
+
+Online topology queries are highly repetitive (the same few entity-pair
+/ constraint combinations dominate real traffic), so a bounded
+most-recently-used cache in front of the engine removes most dispatch
+work.  The cache is deliberately dumb: it never inspects values, and
+consistency is the owner's job (:class:`~repro.service.TopologyService`
+drops the whole cache whenever the underlying system is rebuilt).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot: hits/misses accumulate across clears (they
+    describe the service lifetime), size/capacity describe now."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0.0 when idle)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Least-recently-used mapping with bounded capacity."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshing its recency), or ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

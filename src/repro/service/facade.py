@@ -1,0 +1,200 @@
+"""The online query service: cached, batched, instrumented dispatch.
+
+:class:`TopologyService` is the process-facing facade over a built (or
+snapshot-restored) :class:`~repro.core.engine.TopologySearchSystem` —
+the "online phase" box of the paper's Figure 10 turned into a
+long-running component:
+
+* **Result caching** — an LRU cache keyed on the full query identity
+  ``(method, entity pair, constraints, l, k, ranking)``; repeated
+  queries skip the engine entirely.  The cache is invalidated whenever
+  the system rebuilds (tracked via ``build_generation``, so rebuilds
+  through *or around* the service are both caught).
+* **Batched execution** — :meth:`query_many` evaluates a workload in
+  one call, deduplicating repeats through the cache.
+* **Latency accounting** — per-method wall-clock statistics for every
+  *engine execution* (cache hits excluded, so the numbers describe the
+  engine, not the cache), consumed by the benchmark harness.
+
+The service is single-threaded, like the engine beneath it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import BuildReport, TopologySearchSystem
+from repro.core.methods import MethodResult
+from repro.core.query import TopologyQuery
+from repro.service.cache import CacheStats, LRUCache
+
+DEFAULT_METHOD = "fast-top-k-opt"
+LATENCY_SAMPLE_WINDOW = 512
+
+
+@dataclass
+class LatencyStats:
+    """Running wall-clock statistics for one method's executions.
+
+    Keeps exact count/total/min/max plus a bounded window of the most
+    recent samples for percentile estimates."""
+
+    method: str
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+    _window: List[float] = field(default_factory=list, repr=False)
+    _cursor: int = field(default=0, repr=False)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+        if len(self._window) < LATENCY_SAMPLE_WINDOW:
+            self._window.append(seconds)
+        else:  # ring buffer over the most recent samples
+            self._window[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % LATENCY_SAMPLE_WINDOW
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Windowed percentile (q in [0, 100]) over recent samples."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.percentile(50),
+            "p95_seconds": self.percentile(95),
+        }
+
+
+class TopologyService:
+    """Cached query dispatch over a :class:`TopologySearchSystem`."""
+
+    def __init__(
+        self,
+        system: TopologySearchSystem,
+        cache_size: int = 1024,
+        default_method: str = DEFAULT_METHOD,
+    ) -> None:
+        self.system = system
+        self.default_method = default_method.lower()
+        self._cache = LRUCache(cache_size)
+        self._latency: Dict[str, LatencyStats] = {}
+        self._generation = system.build_generation
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        cache_size: int = 1024,
+        default_method: str = DEFAULT_METHOD,
+    ) -> "TopologyService":
+        """Cold-start a service from a :mod:`repro.persist` snapshot."""
+        return cls(
+            TopologySearchSystem.from_snapshot(path),
+            cache_size=cache_size,
+            default_method=default_method,
+        )
+
+    def save(self, path) -> None:
+        """Snapshot the underlying system (see :mod:`repro.persist`)."""
+        self.system.save(path)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def query(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> MethodResult:
+        """Evaluate one query, serving repeats from the LRU cache.
+
+        The cache key is the pair ``(method, query)``; ``TopologyQuery``
+        is a frozen dataclass, so the key covers the entity pair, both
+        constraints, ``max_length``, ``k``, and the ranking scheme."""
+        name = (method or self.default_method).lower()
+        self._check_generation()
+        key = (name, query)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.system.search(query, method=name)
+        self._latency.setdefault(name, LatencyStats(name)).record(
+            result.elapsed_seconds
+        )
+        self._cache.put(key, result)
+        return result
+
+    def query_many(
+        self,
+        queries: Iterable[TopologyQuery],
+        method: Optional[str] = None,
+    ) -> List[MethodResult]:
+        """Evaluate a batch in submission order.  Duplicates within the
+        batch are computed once and served from cache afterwards."""
+        return [self.query(q, method=method) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        **build_kwargs,
+    ) -> BuildReport:
+        """Re-run the offline phase and invalidate the cache.
+
+        Without ``entity_pairs`` the previously built pairs are reused,
+        and without an explicit ``max_length`` the previous one is kept
+        (the common "refresh after bulk update" case, Section 3.2) —
+        otherwise a system built at l=4 would silently shrink to the
+        ``build()`` default and reject all existing traffic."""
+        pairs = entity_pairs if entity_pairs is not None else self.system.built_pairs
+        if "max_length" not in build_kwargs and self.system.max_length is not None:
+            build_kwargs["max_length"] = self.system.max_length
+        report = self.system.build(list(pairs), **build_kwargs)
+        self._check_generation()  # drops the now-stale cache
+        return report
+
+    def invalidate(self) -> None:
+        """Drop every cached result (counters survive)."""
+        self._cache.clear()
+
+    def _check_generation(self) -> None:
+        """Drop the cache if the system was rebuilt behind our back."""
+        if self.system.build_generation != self._generation:
+            self._cache.clear()
+            self._generation = self.system.build_generation
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-method engine-execution latency snapshots (cache hits do
+        not contribute — they would measure the cache, not the engine)."""
+        return {name: stats.snapshot() for name, stats in sorted(self._latency.items())}
+
+    def reset_latency_stats(self) -> None:
+        self._latency.clear()

@@ -1,0 +1,253 @@
+"""Snapshot persistence: round-trip fidelity and failure modes."""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.biozon import BiozonConfig, generate
+from repro.core import (
+    ALL_METHOD_NAMES,
+    AttributeConstraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+    TopologySearchSystem,
+)
+from repro.errors import TopologyError
+from repro.persist import SCHEMA_VERSION, load_system, save_system, snapshot_info
+from repro.persist.codec import check_endpoint
+
+EXHAUSTIVE_METHODS = ("sql", "full-top", "fast-top")
+
+
+def query_for(method: str, keyword: str = "kinase") -> TopologyQuery:
+    """A method-appropriate Protein-DNA query (top-k methods need k)."""
+    if method in EXHAUSTIVE_METHODS:
+        return TopologyQuery(
+            "Protein", "DNA", KeywordConstraint("DESC", keyword), NoConstraint()
+        )
+    return TopologyQuery(
+        "Protein",
+        "DNA",
+        KeywordConstraint("DESC", keyword),
+        AttributeConstraint("TYPE", "mRNA"),
+        k=4,
+        ranking="rare",
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory, tiny_system):
+    path = tmp_path_factory.mktemp("persist") / "tiny.topo"
+    save_system(tiny_system, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def restored(snapshot_path):
+    return load_system(snapshot_path)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", ALL_METHOD_NAMES)
+    def test_all_nine_methods_answer_identically(
+        self, tiny_system, restored, method
+    ):
+        query = query_for(method)
+        before = tiny_system.search(query, method=method)
+        after = restored.search(query, method=method)
+        assert before.tids == after.tids
+        assert before.scores == after.scores
+
+    def test_store_state_is_preserved(self, tiny_system, restored):
+        original = tiny_system.require_store()
+        copy = restored.require_store()
+        assert original.space_report() == copy.space_report()
+        assert original.pruned_tids == copy.pruned_tids
+        assert original.pair_classes == copy.pair_classes
+        assert original.pair_tids == copy.pair_tids
+        assert original.pair_entity_types == copy.pair_entity_types
+        assert original.truncated_pairs == copy.truncated_pairs
+        assert set(original.topologies) == set(copy.topologies)
+        for tid, topology in original.topologies.items():
+            other = copy.topologies[tid]
+            assert topology.key == other.key
+            assert topology.entity_pair == other.entity_pair
+            assert topology.endpoint_indices == other.endpoint_indices
+            assert topology.class_signatures == other.class_signatures
+            assert topology.frequency == other.frequency
+            assert topology.scores == other.scores
+
+    def test_export_state_round_trips_exactly(self, tiny_system, restored):
+        assert (
+            tiny_system.require_store().export_state()
+            == restored.require_store().export_state()
+        )
+
+    def test_build_metadata_restored(self, tiny_system, restored):
+        assert restored.max_length == tiny_system.max_length
+        assert restored.built_pairs == tiny_system.built_pairs
+        assert restored.weak_rules == tiny_system.weak_rules
+        assert restored.database.name == tiny_system.database.name
+
+    def test_base_tables_and_indexes_restored(self, tiny_system, restored):
+        assert sorted(restored.database.table_names()) == sorted(
+            tiny_system.database.table_names()
+        )
+        for table in tiny_system.database.tables():
+            other = restored.database.table(table.schema.name)
+            assert other.rows == table.rows
+            assert other.index_definitions() == table.index_definitions()
+
+    def test_reversed_orientation_still_works(self, restored):
+        query = TopologyQuery(
+            "DNA", "Protein", NoConstraint(), KeywordConstraint("DESC", "kinase")
+        )
+        assert restored.orientation(query) is False
+        assert restored.search(query, method="fast-top").tids
+
+    def test_restored_system_can_rebuild(self, snapshot_path):
+        system = load_system(snapshot_path)
+        generation = system.build_generation
+        report = system.build([("Protein", "DNA")], max_length=3)
+        assert report.alltops.distinct_topologies > 0
+        assert system.build_generation == generation + 1
+
+
+class TestSnapshotFile:
+    def test_snapshot_info(self, snapshot_path, tiny_system):
+        info = snapshot_info(snapshot_path)
+        store = tiny_system.require_store()
+        assert info.schema_version == SCHEMA_VERSION
+        assert info.max_length == 3
+        assert info.built_pairs == tiny_system.built_pairs
+        assert info.topologies == len(store.topologies)
+        assert info.alltops_rows == len(store.alltops_rows)
+        assert info.lefttops_rows == len(store.lefttops_rows)
+        assert info.excptops_rows == len(store.excptops_rows)
+        assert info.file_bytes == os.path.getsize(snapshot_path)
+
+    def test_save_overwrites_atomically(self, tiny_system, tmp_path):
+        path = tmp_path / "twice.topo"
+        save_system(tiny_system, path)
+        first = snapshot_info(path)
+        save_system(tiny_system, path)
+        assert snapshot_info(path).topologies == first.topologies
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_save_creates_parent_directories(self, tiny_system, tmp_path):
+        path = tmp_path / "deeply" / "nested" / "snap.topo"
+        save_system(tiny_system, path)
+        assert path.exists()
+
+
+class TestFailureModes:
+    def test_save_requires_built_system(self, tmp_path, tiny_dataset):
+        system = TopologySearchSystem(tiny_dataset.database, tiny_dataset.graph())
+        with pytest.raises(TopologyError, match="build"):
+            save_system(system, tmp_path / "never.topo")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError, match="does not exist"):
+            load_system(tmp_path / "missing.topo")
+
+    def test_load_non_sqlite_garbage(self, tmp_path):
+        path = tmp_path / "garbage.topo"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(TopologyError, match="corrupt|not a topology"):
+            load_system(path)
+
+    def test_load_sqlite_but_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "other.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(TopologyError):
+            load_system(path)
+
+    def test_version_mismatch_is_explicit(self, snapshot_path, tmp_path):
+        path = tmp_path / "future.topo"
+        path.write_bytes(snapshot_path.read_bytes())
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(TopologyError, match="schema version"):
+            load_system(path)
+        with pytest.raises(TopologyError, match="schema version"):
+            snapshot_info(path)
+
+    def test_tampered_index_metadata_wrapped(self, snapshot_path, tmp_path):
+        """Engine-level errors during restore (here: an index referencing
+        a nonexistent column) must surface as TopologyError, not leak as
+        SchemaError — the benchmarks' self-heal path catches only the
+        former."""
+        path = tmp_path / "tampered.topo"
+        path.write_bytes(snapshot_path.read_bytes())
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE base_tables SET hash_indexes ="
+            " '[[\"bad\", [\"NO_SUCH_COL\"]]]' WHERE position = 0"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(TopologyError, match="malformed"):
+            load_system(path)
+
+    def test_corrupt_meta_json_wrapped_everywhere(self, snapshot_path, tmp_path):
+        path = tmp_path / "badmeta.topo"
+        path.write_bytes(snapshot_path.read_bytes())
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = '{not json' WHERE key = 'built_pairs'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(TopologyError):
+            load_system(path)
+        with pytest.raises(TopologyError):
+            snapshot_info(path)
+
+    def test_truncated_snapshot(self, snapshot_path, tmp_path):
+        data = snapshot_path.read_bytes()
+        path = tmp_path / "truncated.topo"
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(TopologyError):
+            load_system(path)
+
+    def test_endpoint_type_guard(self):
+        assert check_endpoint(17) == 17
+        assert check_endpoint("ACC-1") == "ACC-1"
+        assert check_endpoint(None) is None
+        with pytest.raises(TopologyError, match="endpoint"):
+            check_endpoint(True)
+        with pytest.raises(TopologyError, match="endpoint"):
+            check_endpoint((1, 2))
+
+
+class TestIncludeAlltops:
+    def test_empty_alltops_table_round_trips(self, tmp_path):
+        ds = generate(BiozonConfig.tiny(seed=11))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build([("Protein", "DNA")], max_length=3)
+        store = system.require_store()
+        # The Fast-Top-only deployment drops the AllTops table to save
+        # space (Table 1); the snapshot must preserve that choice.
+        store.materialize(system.database, include_alltops=False)
+        path = tmp_path / "no-alltops.topo"
+        save_system(system, path)
+        restored = load_system(path)
+        assert restored.database.table("AllTops").row_count == 0
+        assert len(restored.require_store().alltops_rows) == len(store.alltops_rows)
+        query = query_for("fast-top")
+        assert (
+            restored.search(query, method="fast-top").tids
+            == system.search(query, method="fast-top").tids
+        )
