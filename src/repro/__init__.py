@@ -12,6 +12,8 @@ Packages:
 * :mod:`repro.core` — topology definitions, the offline
   computation/pruning pipeline, and the nine query methods (Sections
   2-6);
+* :mod:`repro.parallel` — the partitioned multi-process offline build
+  (hash-bucketed fan-out, serial-order merge, bit-identical output);
 * :mod:`repro.persist` — schema-versioned SQLite snapshots of a built
   system (save once, cold-start in milliseconds);
 * :mod:`repro.service` — the online query service: LRU result cache,

@@ -10,6 +10,38 @@ results per entity pair; we drive it with one pruned DFS per source
 entity, which produces the identical per-pair path sets (tests verify
 this against the SQL chain joins) while being the natural formulation
 over the in-memory graph.
+
+Enumeration order and determinism
+---------------------------------
+The offline phase is **fully deterministic**, and downstream consumers
+depend on the exact order, not just the contents:
+
+1. Entity-set pairs are processed in the order given to
+   :func:`compute_alltops` (duplicates, in either orientation, are
+   rejected up front).
+2. Within a pair ``(ES1, ES2)``, source entities of type ``ES1`` are
+   visited in **graph insertion order** (``LabeledGraph`` stores nodes
+   in insertion-ordered dicts, which for Biozon-style loads means
+   primary-key order).
+3. For one source ``a``, endpoints ``b`` appear in the order
+   :func:`~repro.graph.paths.paths_from_source` first reaches them
+   (DFS over insertion-ordered adjacency lists), and the paths inside
+   each endpoint bucket are in DFS emission order.  For an unordered
+   pair (``ES1 == ES2``) only the ``a < b`` orientation is kept.
+4. Distinct topologies of one pair are recorded in the first-encounter
+   order of :func:`~repro.core.topologies.topologies_from_classes`
+   (itself deterministic; see that module's docstring).
+
+Consequences: TIDs are interned in first-encounter order, ``AllTops``
+rows are appended in the order above, and two runs over the same graph
+and pair list produce byte-identical stores.  The partitioned build in
+:mod:`repro.parallel` leans on exactly this contract — workers compute
+:func:`pair_source_records` for disjoint source buckets, and the merge
+replays them in the serial order (1)-(3), which reproduces the serial
+TID interning (4) without any cross-process coordination.  Anything
+that changes this order is a format-breaking change and must be
+mirrored in :mod:`repro.parallel` and called out in
+``docs/OFFLINE_PIPELINE.md``.
 """
 
 from __future__ import annotations
@@ -38,11 +70,125 @@ class AllTopsReport:
     elapsed_seconds: float = 0.0
 
 
-def _nodes_by_type(graph: LabeledGraph) -> Dict[str, List[NodeId]]:
+@dataclass(frozen=True)
+class PairRecord:
+    """One (source, endpoint) pair's offline output, as plain data.
+
+    This is the unit of work exchanged between the computation and the
+    store (and, in the partitioned build, between worker processes and
+    the merging parent — every field pickles cheaply):
+
+    ``endpoint``
+        The right entity ``b``.
+    ``class_signatures``
+        The pair's path-equivalence-class signatures, in DFS
+        first-encounter order (the store keeps them as a frozenset, so
+        the order here is irrelevant to correctness but kept stable
+        anyway).
+    ``topology_items``
+        ``(canonical key, (endpoint index of a, endpoint index of b))``
+        per distinct topology, in **first-encounter order** — the order
+        TID interning depends on.
+    ``truncated``
+        Whether the path limit or the combination cap cut this pair's
+        enumeration short.
+    """
+
+    endpoint: NodeId
+    class_signatures: Tuple[Tuple[str, ...], ...]
+    topology_items: Tuple[Tuple[str, Tuple[int, int]], ...]
+    truncated: bool
+
+
+def validate_entity_pairs(entity_pairs: Sequence[Tuple[str, str]]) -> None:
+    """Reject a pair list containing duplicates in either orientation."""
+    seen = set()
+    for es1, es2 in entity_pairs:
+        key = (es1, es2)
+        if key in seen or (es2, es1) in seen:
+            raise TopologyError(f"entity pair {key!r} listed twice")
+        seen.add(key)
+
+
+def nodes_by_type(graph: LabeledGraph) -> Dict[str, List[NodeId]]:
+    """Group node ids by entity type, preserving graph insertion order
+    (the source-visit order of the offline phase)."""
     grouped: Dict[str, List[NodeId]] = {}
     for node in graph.nodes():
         grouped.setdefault(graph.node_type(node), []).append(node)
     return grouped
+
+
+def pair_source_records(
+    graph: LabeledGraph,
+    source: NodeId,
+    entity_pair: Tuple[str, str],
+    max_length: int,
+    combination_cap: int = DEFAULT_COMBINATION_CAP,
+    per_pair_path_limit: Optional[int] = None,
+) -> List[PairRecord]:
+    """Compute every :class:`PairRecord` for one source entity.
+
+    One pruned DFS from ``source`` reaches every endpoint of type
+    ``entity_pair[1]``; per endpoint, paths are grouped into equivalence
+    classes and realized into topologies (Definition 2).  This is the
+    kernel shared by the serial loop (:func:`compute_alltops`) and the
+    partition workers (:mod:`repro.parallel.worker`) — keeping them on
+    one code path is what makes "parallel build ≡ serial build" a
+    structural guarantee rather than a test-enforced one.
+    """
+    es1, es2 = entity_pair
+    endpoint_paths = paths_from_source(
+        graph, source, max_length, es2, per_pair_limit=per_pair_path_limit
+    )
+    records: List[PairRecord] = []
+    for b, paths in endpoint_paths.items():
+        if es1 == es2 and not _ordered(source, b):
+            continue  # unordered pair: keep one orientation
+        classes: Dict[Tuple[str, ...], List[Path]] = {}
+        for path in paths:
+            classes.setdefault(path.signature(), []).append(path)
+        truncated = (
+            per_pair_path_limit is not None
+            and len(paths) >= per_pair_path_limit
+        )
+        topology_endpoints, combo_truncated = topologies_from_classes(
+            classes, source, b, combination_cap
+        )
+        records.append(
+            PairRecord(
+                endpoint=b,
+                class_signatures=tuple(classes),
+                topology_items=tuple(topology_endpoints.items()),
+                truncated=truncated or combo_truncated,
+            )
+        )
+    return records
+
+
+def replay_source_records(
+    store: TopologyStore,
+    report: AllTopsReport,
+    source: NodeId,
+    entity_pair: Tuple[str, str],
+    records: Iterable[PairRecord],
+) -> None:
+    """Feed one source's records into the store, updating the report.
+
+    Records must arrive in the order :func:`pair_source_records`
+    produced them — the store interns TIDs on first encounter, so the
+    replay order *is* the TID assignment."""
+    for record in records:
+        store.record_pair(
+            source,
+            record.endpoint,
+            entity_pair,
+            frozenset(record.class_signatures),
+            dict(record.topology_items),
+            record.truncated,
+        )
+        report.pairs_related += 1
+        report.alltops_rows += len(record.topology_items)
 
 
 def compute_alltops(
@@ -59,49 +205,32 @@ def compute_alltops(
     relationships reach thousands of paths per pair at l=4 in the
     paper); ``combination_cap`` bounds Definition 2's representative
     cross-product.  Both truncations are counted in the report.
+
+    This is the single-process formulation; for bulk builds over large
+    graphs use :func:`repro.parallel.compute_alltops_parallel` (or
+    ``TopologySearchSystem.build(parallel=N)``), which partitions the
+    source space across a worker pool and merges into an identical
+    store.
     """
     if store is None:
         store = TopologyStore()
-    seen = set()
-    for es1, es2 in entity_pairs:
-        key = (es1, es2)
-        if key in seen or (es2, es1) in seen:
-            raise TopologyError(f"entity pair {key!r} listed twice")
-        seen.add(key)
+    validate_entity_pairs(entity_pairs)
 
     report = AllTopsReport(tuple(entity_pairs), max_length)
     start = time.perf_counter()
-    by_type = _nodes_by_type(graph)
+    by_type = nodes_by_type(graph)
 
     for es1, es2 in entity_pairs:
-        sources = by_type.get(es1, [])
-        for a in sources:
-            endpoint_paths = paths_from_source(
-                graph, a, max_length, es2, per_pair_limit=per_pair_path_limit
+        for a in by_type.get(es1, []):
+            records = pair_source_records(
+                graph,
+                a,
+                (es1, es2),
+                max_length,
+                combination_cap=combination_cap,
+                per_pair_path_limit=per_pair_path_limit,
             )
-            for b, paths in endpoint_paths.items():
-                if es1 == es2 and not _ordered(a, b):
-                    continue  # unordered pair: keep one orientation
-                classes: Dict[Tuple[str, ...], List[Path]] = {}
-                for path in paths:
-                    classes.setdefault(path.signature(), []).append(path)
-                truncated = (
-                    per_pair_path_limit is not None
-                    and len(paths) >= per_pair_path_limit
-                )
-                topology_endpoints, combo_truncated = topologies_from_classes(
-                    classes, a, b, combination_cap
-                )
-                store.record_pair(
-                    a,
-                    b,
-                    (es1, es2),
-                    frozenset(classes),
-                    topology_endpoints,
-                    truncated or combo_truncated,
-                )
-                report.pairs_related += 1
-                report.alltops_rows += len(topology_endpoints)
+            replay_source_records(store, report, a, (es1, es2), records)
 
     store.finalize()
     report.distinct_topologies = len(store.topologies)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.biozon.schema import database_to_graph
 from repro.core.alltops import AllTopsReport, compute_alltops
@@ -40,14 +40,22 @@ from repro.relational.database import Database
 from repro.relational.sql.planner import Engine
 from repro.relational.statistics import StatsCatalog
 
+if TYPE_CHECKING:  # runtime import stays inside build() (cycle-free)
+    from repro.parallel import ParallelBuildReport
+
 
 @dataclass
 class BuildReport:
-    """Combined offline-phase summary."""
+    """Combined offline-phase summary.
+
+    ``parallel`` is populated only for partitioned builds
+    (``build(parallel=N)`` with N >= 2): worker count, partition count,
+    per-partition task timings, and merge overhead."""
 
     alltops: AllTopsReport
     pruning: Optional[PruneReport]
     elapsed_seconds: float
+    parallel: Optional["ParallelBuildReport"] = None
 
 
 class TopologySearchSystem:
@@ -68,6 +76,10 @@ class TopologySearchSystem:
         self.stats = StatsCatalog(database)
         self.engine = Engine(database, self.stats)
         self.build_report: Optional[BuildReport] = None
+        # The parameters of the last build() — persisted into snapshots
+        # (repro.persist) and reused by TopologyService.rebuild(), so a
+        # system built in parallel rebuilds in parallel.
+        self.build_config: Optional[Dict[str, object]] = None
         # Bumped on every (re)build or snapshot restore; caches layered on
         # top of the system (e.g. repro.service) key their validity on it.
         self.build_generation: int = 0
@@ -84,19 +96,47 @@ class TopologySearchSystem:
         prune: bool = True,
         combination_cap: int = DEFAULT_COMBINATION_CAP,
         per_pair_path_limit: Optional[int] = None,
+        parallel: int = 0,
+        partitions: Optional[int] = None,
     ) -> BuildReport:
         """Run Topology Computation and Topology Pruning, then
-        materialize the derived tables and refresh statistics."""
+        materialize the derived tables and refresh statistics.
+
+        ``parallel`` >= 2 runs the Topology Computation step across
+        that many worker processes (:mod:`repro.parallel`), partitioned
+        into ``partitions`` deterministic hash buckets per entity pair
+        (default: 4 per worker); 0 or 1 keeps the single-process path.
+        The resulting store is bit-identical either way — only the
+        wall-clock and :attr:`BuildReport.parallel` differ."""
         start = time.perf_counter()
+        if parallel < 0:
+            raise TopologyError(
+                f"parallel must be >= 0 (0/1 = serial), got {parallel}"
+            )
         store = TopologyStore(self.weak_rules)
-        store, alltops_report = compute_alltops(
-            self.graph,
-            entity_pairs,
-            max_length,
-            store=store,
-            combination_cap=combination_cap,
-            per_pair_path_limit=per_pair_path_limit,
-        )
+        parallel_report: Optional["ParallelBuildReport"] = None
+        if parallel and parallel >= 2:
+            from repro.parallel import compute_alltops_parallel
+
+            store, alltops_report, parallel_report = compute_alltops_parallel(
+                self.graph,
+                entity_pairs,
+                max_length,
+                workers=parallel,
+                partitions=partitions,
+                store=store,
+                combination_cap=combination_cap,
+                per_pair_path_limit=per_pair_path_limit,
+            )
+        else:
+            store, alltops_report = compute_alltops(
+                self.graph,
+                entity_pairs,
+                max_length,
+                store=store,
+                combination_cap=combination_cap,
+                per_pair_path_limit=per_pair_path_limit,
+            )
         prune_report: Optional[PruneReport] = None
         if prune:
             prune_report = apply_pruning(store, prune_threshold)
@@ -110,10 +150,22 @@ class TopologySearchSystem:
         self.built_pairs = [tuple(p) for p in entity_pairs]
         self._methods.clear()
         self.build_generation += 1
+        self.build_config = {
+            "max_length": max_length,
+            "prune": prune,
+            "prune_threshold": prune_threshold,
+            "combination_cap": combination_cap,
+            "per_pair_path_limit": per_pair_path_limit,
+            "parallel": int(parallel) if parallel and parallel >= 2 else 0,
+            "partitions": (
+                parallel_report.partitions if parallel_report is not None else None
+            ),
+        }
         self.build_report = BuildReport(
             alltops=alltops_report,
             pruning=prune_report,
             elapsed_seconds=time.perf_counter() - start,
+            parallel=parallel_report,
         )
         return self.build_report
 
@@ -147,13 +199,17 @@ class TopologySearchSystem:
         built_pairs: Sequence[Tuple[str, str]],
         include_alltops: bool = True,
         validate: bool = False,
+        build_config: Optional[Dict[str, object]] = None,
     ) -> None:
         """Install an externally restored store: materialize its derived
         tables and refresh the engine state, without recomputing AllTops.
 
         This is the restore-side counterpart of :meth:`build`; the
         persistence layer calls it after rebuilding the store and the
-        base database from a snapshot."""
+        base database from a snapshot.  ``build_config`` carries the
+        original build's recorded parameters (snapshots persist them) so
+        a later ``rebuild()`` can reproduce the build — including its
+        parallel worker/partition configuration."""
         store.materialize(
             self.database, include_alltops=include_alltops, validate=validate
         )
@@ -166,6 +222,7 @@ class TopologySearchSystem:
         self._methods.clear()
         self.build_generation += 1
         self.build_report = None
+        self.build_config = dict(build_config) if build_config else None
 
     # ------------------------------------------------------------------
     # Query orientation helpers

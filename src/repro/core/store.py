@@ -19,6 +19,8 @@ the query methods can reach it through SQL.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -254,6 +256,20 @@ class TopologyStore:
         store.truncated_pairs = int(state["truncated_pairs"])
         store._finalized = True
         return store
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`export_state`.
+
+        Two stores digest equal iff their full exported state —
+        including TID assignment and ``AllTops``/``LeftTops``/
+        ``ExcpTops`` *row order* — is identical.  This is the
+        "bit-identical to a serial build" check the partitioned build
+        (:mod:`repro.parallel`) is verified against, cheap enough to
+        run inside benchmarks."""
+        canonical = json.dumps(
+            self.export_state(), sort_keys=True, default=repr
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Materialization into the relational database

@@ -5,6 +5,38 @@ and full query topology results directly over the data graph.  They are
 the semantic ground truth: every query-processing method (Full-Top,
 Fast-Top, the top-k variants) must agree with them, which the test suite
 checks on both the Figure-3 fixture and random synthetic databases.
+
+Determinism
+-----------
+Definition 2's enumeration is deterministic end to end, and the offline
+phase (:mod:`repro.core.alltops`) — including its partitioned variant in
+:mod:`repro.parallel` — relies on that:
+
+* equivalence classes are visited in **sorted signature order**
+  (``sorted(classes)`` in :func:`topologies_from_classes`), not dict
+  order, so the representative cross-product is the same regardless of
+  how the class dict was built;
+* within one class, representatives keep their path-enumeration order
+  (DFS emission order — see :mod:`repro.graph.paths`);
+* ``itertools.product`` walks combinations in a fixed lexicographic
+  order over those lists, so the *first-encounter order of canonical
+  keys* — which downstream TID interning depends on — is a pure
+  function of the input classes;
+* the returned dict preserves that first-encounter order (insertion
+  ordered), which is why callers may treat ``topologies.items()`` as an
+  ordered sequence.
+
+The combination cap
+-------------------
+``combination_cap`` bounds the number of representative combinations
+*inspected* (not the number of distinct topologies returned).  Weak
+relationships can reach thousands of paths per pair at l=4 (Section
+6.2.3), making the cross-product astronomically large; the cap cuts the
+walk after ``combination_cap`` combinations and reports
+``truncated=True``.  Because the walk order is deterministic, a capped
+enumeration is still reproducible: serial and partitioned builds cap at
+the same combination and therefore agree on the (possibly partial)
+topology set.
 """
 
 from __future__ import annotations
@@ -55,6 +87,12 @@ def topologies_from_classes(
     canonical key of each distinct union to the canonical indices of the
     endpoints ``(a, b)``, and ``truncated`` reports whether the
     ``combination_cap`` cut enumeration short.
+
+    The returned dict is insertion-ordered by **first encounter** during
+    the deterministic combination walk (classes in sorted-signature
+    order, representatives in path-enumeration order); TID assignment in
+    :class:`~repro.core.store.TopologyStore` replays this order, so it
+    must not be re-sorted here.
     """
     if not classes:
         return {}, False

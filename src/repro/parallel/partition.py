@@ -1,0 +1,73 @@
+"""Deterministic hash partitioning of the entity-pair space.
+
+The offline phase's outer loop runs over *source* entities (the left
+entity set of each requested pair); the partitioned build splits that
+loop into ``num_partitions`` disjoint buckets by hashing the source's
+node id.  The hash must be:
+
+* **process-stable** — Python's builtin ``hash`` is salted per process
+  for ``str``/``bytes`` (PYTHONHASHSEED), so workers and the merging
+  parent would disagree about bucket membership.  We use CRC-32 over a
+  canonical byte encoding instead;
+* **type-discriminating** — the ids ``1`` and ``"1"`` are different
+  nodes and must be free to land in different buckets, so the encoding
+  is prefixed with a type tag.
+
+Partitioning is over node ids only (never over path contents), so a
+bucket can be assigned before any path enumeration happens — workers
+skip foreign sources with one CRC each.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.graph.labeled_graph import NodeId
+
+
+def _canonical_bytes(node_id: NodeId) -> bytes:
+    """A stable byte encoding of a node id, tagged by type."""
+    if isinstance(node_id, bool):  # bool is an int subclass; tag first
+        return b"b:1" if node_id else b"b:0"
+    if isinstance(node_id, int):
+        return b"i:" + str(node_id).encode("ascii")
+    if isinstance(node_id, str):
+        return b"s:" + node_id.encode("utf-8")
+    if isinstance(node_id, bytes):
+        return b"y:" + node_id
+    # Tuples of the above (composite keys) and anything else with a
+    # stable repr fall back to the tagged repr.
+    return b"r:" + repr(node_id).encode("utf-8")
+
+
+def stable_partition(node_id: NodeId, num_partitions: int) -> int:
+    """Bucket index in ``[0, num_partitions)`` for a node id; identical
+    in every process and on every run."""
+    if num_partitions < 1:
+        raise TopologyError(f"num_partitions must be >= 1, got {num_partitions}")
+    if num_partitions == 1:
+        return 0
+    return zlib.crc32(_canonical_bytes(node_id)) % num_partitions
+
+
+def partition_sources(
+    sources: Sequence[NodeId], num_partitions: int
+) -> Dict[int, List[NodeId]]:
+    """Split a source list into buckets, preserving the input order
+    inside each bucket (the order the merge will replay)."""
+    buckets: Dict[int, List[NodeId]] = {p: [] for p in range(num_partitions)}
+    for node_id in sources:
+        buckets[stable_partition(node_id, num_partitions)].append(node_id)
+    return buckets
+
+
+def partition_histogram(
+    sources: Sequence[NodeId], num_partitions: int
+) -> Tuple[int, ...]:
+    """Bucket sizes — a quick skew check for choosing partition counts."""
+    counts = [0] * num_partitions
+    for node_id in sources:
+        counts[stable_partition(node_id, num_partitions)] += 1
+    return tuple(counts)

@@ -128,6 +128,9 @@ class SnapshotInfo:
     base_tables: int
     file_bytes: int
     saved_at: float
+    # Recorded build() parameters (None for pre-PR-2 snapshots or
+    # stores installed via adopt_store without a config).
+    build_config: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +179,9 @@ def _write_meta(conn: sqlite3.Connection, system, state: Dict[str, Any]) -> None
         },
         "truncated_pairs": state["truncated_pairs"],
         "include_alltops": not alltops_table_empty,
+        # How the store was built (worker/partition counts, caps, prune
+        # settings) — restored so rebuilds reproduce the configuration.
+        "build_config": system.build_config,
         "saved_at": time.time(),
     }
     conn.executemany(
@@ -339,6 +345,7 @@ def load_system(path):
         max_length=meta["max_length"],
         built_pairs=[tuple(p) for p in meta["built_pairs"]],
         include_alltops=meta.get("include_alltops", True),
+        build_config=meta.get("build_config"),
     )
     return system
 
@@ -511,6 +518,7 @@ def snapshot_info(path) -> SnapshotInfo:
                 base_tables=base_tables,
                 file_bytes=os.path.getsize(target),
                 saved_at=meta.get("saved_at", 0.0),
+                build_config=meta.get("build_config"),
             )
     finally:
         conn.close()

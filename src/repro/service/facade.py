@@ -167,10 +167,35 @@ class TopologyService:
         and without an explicit ``max_length`` the previous one is kept
         (the common "refresh after bulk update" case, Section 3.2) —
         otherwise a system built at l=4 would silently shrink to the
-        ``build()`` default and reject all existing traffic."""
+        ``build()`` default and reject all existing traffic.
+
+        The rest of the previous build's recorded configuration —
+        parallel worker/partition counts, caps, prune settings — is
+        reused the same way (snapshots persist it, so this also holds
+        for snapshot-restored services); any explicit keyword wins.
+        Cache invalidation is untouched by how the build ran: ``build()``
+        bumps ``build_generation`` for serial and parallel builds alike,
+        and the generation check below drops the stale cache."""
         pairs = entity_pairs if entity_pairs is not None else self.system.built_pairs
         if "max_length" not in build_kwargs and self.system.max_length is not None:
             build_kwargs["max_length"] = self.system.max_length
+        previous = self.system.build_config or {}
+        carried = [
+            "prune",
+            "prune_threshold",
+            "combination_cap",
+            "per_pair_path_limit",
+            "parallel",
+        ]
+        # The recorded partition count was resolved for the recorded
+        # worker count; carrying it under an explicitly different
+        # ``parallel`` would starve (or over-chop) the new pool, so in
+        # that case let the build re-derive its default.
+        if "parallel" not in build_kwargs:
+            carried.append("partitions")
+        for key in carried:
+            if key not in build_kwargs and previous.get(key) is not None:
+                build_kwargs[key] = previous[key]
         report = self.system.build(list(pairs), **build_kwargs)
         self._check_generation()  # drops the now-stale cache
         return report

@@ -1,0 +1,338 @@
+"""Parallel-vs-serial equivalence of the partitioned offline build.
+
+The central property: for every worker count and partition count, the
+partitioned build (:mod:`repro.parallel`) must produce a store that is
+**bit-identical** to the serial build's — same TID assignment, same
+``TopInfo``/``AllTops``/``LeftTops``/``ExcpTops`` contents *and row
+order* — and a system built from it must answer every one of the nine
+query methods identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.biozon import BiozonConfig, generate
+from repro.core import (
+    ALL_METHOD_NAMES,
+    AttributeConstraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+    TopologySearchSystem,
+)
+from repro.core.alltops import compute_alltops
+from repro.errors import TopologyError
+from repro.parallel import (
+    DEFAULT_PARTITIONS_PER_WORKER,
+    compute_alltops_parallel,
+    partition_histogram,
+    partition_sources,
+    stable_partition,
+)
+
+# Includes an unordered (same-type) pair to cover the a<b orientation
+# dedup in the partitioned path.
+STORE_PAIRS = [("Protein", "DNA"), ("Protein", "Interaction"), ("Protein", "Protein")]
+SYSTEM_PAIRS = [("Protein", "DNA"), ("Protein", "Interaction")]
+MAX_LENGTH = 3
+
+EXHAUSTIVE_METHODS = ("sql", "full-top", "fast-top")
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+class TestStablePartition:
+    def test_deterministic_and_in_range(self):
+        for node_id in (0, 1, 17, 10**12, "P1", "", (1, "x"), b"raw"):
+            for n in (1, 2, 3, 7, 64):
+                first = stable_partition(node_id, n)
+                assert 0 <= first < n
+                assert stable_partition(node_id, n) == first
+
+    def test_type_discrimination(self):
+        # 1, "1", True, b"1" are distinct ids; their encodings must
+        # differ (buckets *may* collide, encodings may not).
+        from repro.parallel.partition import _canonical_bytes
+
+        encodings = {_canonical_bytes(v) for v in (1, "1", True, b"1")}
+        assert len(encodings) == 4
+
+    def test_buckets_partition_the_sources(self):
+        sources = list(range(1000, 1100)) + [f"s{i}" for i in range(50)]
+        buckets = partition_sources(sources, 7)
+        flattened = [x for bucket in buckets.values() for x in bucket]
+        assert len(flattened) == len(sources)
+        assert set(flattened) == set(sources)
+        # Order inside each bucket preserves the input order.
+        for bucket in buckets.values():
+            positions = [sources.index(x) for x in bucket]
+            assert positions == sorted(positions)
+        assert sum(partition_histogram(sources, 7)) == len(sources)
+
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(TopologyError):
+            stable_partition(1, 0)
+
+
+# ----------------------------------------------------------------------
+# Store-level bit identity
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def graph(tiny_dataset):
+    return tiny_dataset.graph()
+
+
+@pytest.fixture(scope="module")
+def serial_store(graph):
+    store, _ = compute_alltops(graph, STORE_PAIRS, MAX_LENGTH)
+    return store
+
+
+class TestStoreEquivalence:
+    @pytest.mark.parametrize(
+        "workers,partitions",
+        [(2, 1), (2, 2), (2, 5), (2, None), (4, 3), (4, 4), (4, 9)],
+    )
+    def test_bit_identical_store(self, graph, serial_store, workers, partitions):
+        store, report, parallel_report = compute_alltops_parallel(
+            graph,
+            STORE_PAIRS,
+            MAX_LENGTH,
+            workers=workers,
+            partitions=partitions,
+        )
+        assert store.state_digest() == serial_store.state_digest()
+        # Row order — not just contents — must match the serial build.
+        assert store.alltops_rows == serial_store.alltops_rows
+        assert list(store.topologies) == list(serial_store.topologies)
+        assert parallel_report.workers == workers
+        expected_partitions = (
+            partitions if partitions is not None else parallel_report.partitions
+        )
+        assert len(parallel_report.tasks) == expected_partitions * len(STORE_PAIRS)
+
+    def test_full_state_equality(self, graph, serial_store):
+        store, _, _ = compute_alltops_parallel(
+            graph, STORE_PAIRS, MAX_LENGTH, workers=2, partitions=3
+        )
+        assert store.export_state() == serial_store.export_state()
+
+    def test_report_matches_serial(self, graph, serial_store):
+        _, serial_report = compute_alltops(graph, STORE_PAIRS, MAX_LENGTH)
+        _, report, parallel_report = compute_alltops_parallel(
+            graph, STORE_PAIRS, MAX_LENGTH, workers=2, partitions=4
+        )
+        assert report.pairs_related == serial_report.pairs_related
+        assert report.alltops_rows == serial_report.alltops_rows
+        assert report.distinct_topologies == serial_report.distinct_topologies
+        assert report.truncated_pairs == serial_report.truncated_pairs
+        # Every source of every pair was scanned by exactly one task.
+        by_pair = {}
+        for task in parallel_report.tasks:
+            by_pair[task.pair_index] = by_pair.get(task.pair_index, 0) + task.sources_scanned
+        from repro.core.alltops import nodes_by_type
+
+        by_type = nodes_by_type(graph)
+        for pair_index, (es1, _) in enumerate(STORE_PAIRS):
+            assert by_pair[pair_index] == len(by_type.get(es1, []))
+
+    def test_truncation_caps_agree(self, graph):
+        """Caps bite identically in serial and partitioned builds."""
+        kwargs = dict(combination_cap=2, per_pair_path_limit=3)
+        serial, _ = compute_alltops(graph, STORE_PAIRS, MAX_LENGTH, **kwargs)
+        parallel, _, _ = compute_alltops_parallel(
+            graph, STORE_PAIRS, MAX_LENGTH, workers=2, partitions=3, **kwargs
+        )
+        assert serial.truncated_pairs > 0  # the tightened caps actually bit
+        assert parallel.state_digest() == serial.state_digest()
+
+    def test_spawn_start_method_identical(self, graph, serial_store):
+        """The pickled-payload path (spawn workers inherit nothing)
+        produces the same bits as the fork copy-on-write path."""
+        store, _, parallel_report = compute_alltops_parallel(
+            graph,
+            STORE_PAIRS,
+            MAX_LENGTH,
+            workers=2,
+            partitions=2,
+            start_method="spawn",
+        )
+        assert parallel_report.start_method == "spawn"
+        assert store.state_digest() == serial_store.state_digest()
+
+    def test_unknown_start_method_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            compute_alltops_parallel(
+                graph, STORE_PAIRS, MAX_LENGTH, workers=2,
+                start_method="no-such-method",
+            )
+
+    def test_duplicate_pairs_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            compute_alltops_parallel(
+                graph,
+                [("Protein", "DNA"), ("DNA", "Protein")],
+                MAX_LENGTH,
+                workers=2,
+            )
+
+    def test_bad_worker_count_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            compute_alltops_parallel(graph, STORE_PAIRS, MAX_LENGTH, workers=0)
+
+
+# ----------------------------------------------------------------------
+# System-level: all nine query methods answer identically
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serial_system():
+    ds = generate(BiozonConfig.tiny(seed=3))
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build(SYSTEM_PAIRS, max_length=MAX_LENGTH)
+    return system
+
+
+@pytest.fixture(scope="module")
+def parallel_system():
+    # Same seed, fresh dataset object: nothing shared with the serial
+    # system except the (deterministic) generator inputs.
+    ds = generate(BiozonConfig.tiny(seed=3))
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build(SYSTEM_PAIRS, max_length=MAX_LENGTH, parallel=2, partitions=5)
+    return system
+
+
+def _queries_for(method: str):
+    if method in EXHAUSTIVE_METHODS:
+        return [
+            TopologyQuery(
+                "Protein", "DNA",
+                KeywordConstraint("DESC", "kinase"),
+                AttributeConstraint("TYPE", "mRNA"),
+            ),
+            # Reversed orientation relative to the build pair list.
+            TopologyQuery(
+                "DNA", "Protein",
+                AttributeConstraint("TYPE", "EST"),
+                NoConstraint(),
+            ),
+        ]
+    return [
+        TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"),
+            NoConstraint(),
+            k=5, ranking="freq",
+        ),
+        TopologyQuery(
+            "Interaction", "Protein",
+            NoConstraint(),
+            KeywordConstraint("DESC", "binding"),
+            k=3, ranking="rare",
+        ),
+    ]
+
+
+class TestNineMethodsEquivalence:
+    def test_stores_identical(self, serial_system, parallel_system):
+        assert (
+            parallel_system.store.state_digest()
+            == serial_system.store.state_digest()
+        )
+        assert (
+            parallel_system.store.lefttops_rows
+            == serial_system.store.lefttops_rows
+        )
+        assert (
+            parallel_system.store.excptops_rows
+            == serial_system.store.excptops_rows
+        )
+
+    @pytest.mark.parametrize("method", ALL_METHOD_NAMES)
+    def test_method_answers_identical(self, serial_system, parallel_system, method):
+        for query in _queries_for(method):
+            serial = serial_system.search(query, method=method)
+            parallel = parallel_system.search(query, method=method)
+            assert serial.tids == parallel.tids, (method, query.describe())
+            assert serial.scores == parallel.scores, (method, query.describe())
+
+
+# ----------------------------------------------------------------------
+# Engine / persistence / service wiring
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_build_report_parallel_section(self, parallel_system):
+        report = parallel_system.build_report
+        assert report.parallel is not None
+        assert report.parallel.workers == 2
+        assert report.parallel.partitions == 5
+        assert report.parallel.merge_seconds >= 0.0
+        assert report.parallel.worker_seconds_total > 0.0
+        assert report.parallel.partition_skew() >= 1.0
+
+    def test_negative_parallel_rejected(self):
+        ds = generate(BiozonConfig.tiny(seed=3))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        with pytest.raises(TopologyError):
+            system.build(SYSTEM_PAIRS, max_length=MAX_LENGTH, parallel=-4)
+
+    def test_serial_build_has_no_parallel_section(self, serial_system):
+        assert serial_system.build_report.parallel is None
+        assert serial_system.build_config["parallel"] == 0
+
+    def test_build_config_recorded(self, parallel_system):
+        config = parallel_system.build_config
+        assert config["parallel"] == 2
+        assert config["partitions"] == 5
+        assert config["max_length"] == MAX_LENGTH
+
+    def test_snapshot_round_trips_build_config(self, parallel_system, tmp_path):
+        from repro.persist import load_system, save_system, snapshot_info
+
+        path = tmp_path / "parallel.topo"
+        save_system(parallel_system, path)
+        assert snapshot_info(path).build_config == parallel_system.build_config
+        loaded = load_system(path)
+        assert loaded.build_config == parallel_system.build_config
+        assert (
+            loaded.store.state_digest()
+            == parallel_system.store.state_digest()
+        )
+
+    def test_service_rebuild_reuses_parallel_config(self):
+        from repro.service import TopologyService
+
+        ds = generate(BiozonConfig.tiny(seed=3))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build(SYSTEM_PAIRS, max_length=MAX_LENGTH, parallel=2, partitions=3)
+        service = TopologyService(system)
+
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "kinase"),
+            NoConstraint(),
+            k=5, ranking="freq",
+        )
+        before = service.query(query)
+        assert service.cache_stats().size == 1
+
+        report = service.rebuild()
+        # The recorded configuration is reused without re-specifying it...
+        assert report.parallel is not None
+        assert report.parallel.workers == 2
+        assert report.parallel.partitions == 3
+        # ...and the rebuild invalidated the cache (generation bump).
+        assert service.cache_stats().size == 0
+        after = service.query(query)
+        assert after.tids == before.tids
+        # An explicit override still wins over the recorded config, and
+        # the recorded partition count (resolved for the old worker
+        # count) is NOT carried along with it — the new build derives
+        # its own default instead of starving the new pool.
+        report = service.rebuild(parallel=4)
+        assert report.parallel.workers == 4
+        assert report.parallel.partitions == 4 * DEFAULT_PARTITIONS_PER_WORKER
+        report = service.rebuild(parallel=0)
+        assert report.parallel is None
