@@ -33,7 +33,7 @@ from repro.core import (
 from repro.persist import load_system, save_system, snapshot_info
 from repro.service import TopologyService
 
-from benchmarks.common import emit
+from benchmarks.common import emit, emit_json
 
 # Methods that evaluate the whole result set (no k) vs. top-k methods.
 EXHAUSTIVE_METHODS = ("sql", "full-top", "fast-top")
@@ -106,6 +106,21 @@ def test_persistence_speedup(benchmark):
             title="Persistence: build vs snapshot restore (default instance)",
         ),
     )
+    emit_json(
+        "persistence",
+        {
+            "cold_start": {
+                "build_seconds": build_seconds,
+                "save_seconds": save_seconds,
+                "load_seconds": load_seconds,
+                "speedup": speedup,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "snapshot_bytes": info.file_bytes,
+                "topologies": info.topologies,
+                "alltops_rows": info.alltops_rows,
+            }
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR, (
         f"load_system() must be >= {SPEEDUP_FLOOR}x faster than build(); "
         f"got {speedup:.1f}x ({build_seconds:.3f}s vs {load_seconds:.3f}s)"
@@ -151,6 +166,24 @@ def test_service_cache_hit_rate(benchmark):
             ],
             title="TopologyService LRU cache under a skewed workload",
         ),
+    )
+    emit_json(
+        "persistence",
+        {
+            "service_cache": {
+                "requests": stats.requests,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hit_rate,
+                "engine_executions": latency["count"],
+                "engine_mean_seconds": latency["mean_seconds"],
+                "engine_p95_seconds": latency["p95_seconds"],
+                "plan_cache": {
+                    "hits": service.plan_cache_stats().hits,
+                    "misses": service.plan_cache_stats().misses,
+                },
+            }
+        },
     )
     # Few distinct queries over 200 requests: the hit rate must be high
     # and the engine must have run each distinct query exactly once.

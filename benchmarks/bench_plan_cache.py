@@ -1,0 +1,212 @@
+"""Plan cache + calibration benchmark: planning time saved, opt regret.
+
+The paper's online argument (Section 5.4) is that the cost-based choice
+between the regular and ET plans tracks the better of the two.  This
+harness measures the two additions the plan layer makes on top:
+
+* **Plan caching** — repeated same-class traffic must skip the System-R
+  enumeration and both DGJ dynamic programs: the mean per-query planning
+  time with the cache warm must be at least ``PLANNING_SPEEDUP_FLOOR``
+  times lower than with the cache cold (the acceptance criterion).
+* **Calibration** — after observing each strategy's real work counters
+  on a seeded workload, the planner's chosen alternative must be the
+  observed-cheapest at least as often as before calibration, and the
+  total excess work ("regret") must not grow.
+
+Machine-readable results land in ``BENCH_plan_cache.json`` at the repo
+root so the trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis import render_table
+from repro.core import KeywordConstraint, NoConstraint, TopologyQuery
+from repro.core.methods.et import FastTopKEtMethod
+from repro.core.plan import work_units
+
+from benchmarks.common import emit, emit_json, private_system
+
+PLANNING_SPEEDUP_FLOOR = 5.0
+
+KEYWORDS = ["kinase", "binding", "human", "putative", "conserved", "receptor"]
+
+
+def _same_class_queries(n: int = 9) -> List[TopologyQuery]:
+    """One plan class: identical constraint shapes and selectivities,
+    k varying inside one power-of-two bucket (5..8)."""
+    return [
+        TopologyQuery(
+            "Protein",
+            "DNA",
+            KeywordConstraint("DESC", "kinase"),
+            NoConstraint(),
+            k=5 + (i % 4),
+            ranking="freq",
+        )
+        for i in range(n)
+    ]
+
+
+def _diverse_workload() -> List[TopologyQuery]:
+    """Distinct plan classes with different selectivities/k/rankings."""
+    queries = []
+    for i, keyword in enumerate(KEYWORDS):
+        queries.append(
+            TopologyQuery(
+                "Protein",
+                "DNA",
+                KeywordConstraint("DESC", keyword),
+                NoConstraint(),
+                k=3 + 2 * (i % 3),
+                ranking=("freq", "rare")[i % 2],
+            )
+        )
+    return queries
+
+
+def test_plan_cache_planning_speedup(benchmark):
+    system = private_system()
+    # Freeze calibration during timing: a mid-run version bump would
+    # (correctly) invalidate cached plans and contaminate the numbers.
+    system.calibration_enabled = False
+    queries = _same_class_queries()
+
+    # Cold: every query re-plans (cache dropped each time).
+    cold: List[float] = []
+    for query in queries:
+        system.invalidate_plans()
+        cold.append(system.search(query, "fast-top-k-opt").planning_seconds)
+
+    # Warm: plan once, then same-class traffic hits the plan cache.
+    system.invalidate_plans()
+    hits_before = system.plan_cache_stats().hits
+    system.search(queries[0], "fast-top-k-opt")
+
+    def run_warm():
+        return [
+            system.search(q, "fast-top-k-opt").planning_seconds
+            for q in queries[1:]
+        ]
+
+    warm = benchmark.pedantic(run_warm, iterations=1, rounds=1)
+    hits = system.plan_cache_stats().hits - hits_before
+    cold_mean = sum(cold) / len(cold)
+    warm_mean = sum(warm) / len(warm)
+    speedup = cold_mean / warm_mean
+    saved_ms = (cold_mean - warm_mean) * len(warm) * 1e3
+
+    emit(
+        "plan_cache_speedup",
+        render_table(
+            ["metric", "value"],
+            [
+                ["cold planning mean", f"{cold_mean * 1e3:.3f} ms"],
+                ["warm planning mean", f"{warm_mean * 1e3:.3f} ms"],
+                ["planning speedup", f"{speedup:.1f}x (floor {PLANNING_SPEEDUP_FLOOR:.0f}x)"],
+                ["planning time saved", f"{saved_ms:.2f} ms over {len(warm)} queries"],
+                ["plan cache hits", str(hits)],
+            ],
+            title="Plan cache: same-class traffic skips the optimizer",
+        ),
+    )
+    emit_json(
+        "plan_cache",
+        {
+            "planning": {
+                "cold_mean_seconds": cold_mean,
+                "warm_mean_seconds": warm_mean,
+                "speedup": speedup,
+                "speedup_floor": PLANNING_SPEEDUP_FLOOR,
+                "cache_hits": hits,
+                "queries": len(queries),
+            }
+        },
+    )
+    assert hits >= len(warm)
+    assert speedup >= PLANNING_SPEEDUP_FLOOR, (
+        f"plan cache must cut planning overhead >= {PLANNING_SPEEDUP_FLOOR}x; "
+        f"got {speedup:.1f}x ({cold_mean * 1e3:.3f} ms -> {warm_mean * 1e3:.3f} ms)"
+    )
+
+
+def test_calibration_reduces_opt_regret():
+    system = private_system()
+    system.restore_calibration(None)  # clean slate, plans dropped
+    workload = _diverse_workload()
+
+    # Uncalibrated choices.
+    before = [system.explain(q, "fast-top-k-opt").strategy for q in workload]
+
+    # Ground truth: run every strategy once per query and record its
+    # observed work.  These executions are exactly the feedback the
+    # calibrator learns from.
+    observed: List[Dict[str, float]] = []
+    for query in workload:
+        per_strategy = {
+            "regular": work_units(system.search(query, "fast-top-k").work)
+        }
+        for flavor in ("idgj", "hdgj"):
+            method = FastTopKEtMethod(system, flavor=flavor)
+            per_strategy[f"et-{flavor}"] = work_units(method.run(query).work)
+        observed.append(per_strategy)
+
+    # Calibrated choices.
+    system.invalidate_plans()
+    after = [system.explain(q, "fast-top-k-opt").strategy for q in workload]
+
+    def optimal_picks(choices: List[str]) -> int:
+        return sum(
+            1
+            for choice, obs in zip(choices, observed)
+            if obs[choice] <= min(obs.values())
+        )
+
+    def total_regret(choices: List[str]) -> float:
+        return sum(
+            obs[choice] - min(obs.values())
+            for choice, obs in zip(choices, observed)
+        )
+
+    rows = []
+    for query, b, a, obs in zip(workload, before, after, observed):
+        best = min(obs, key=obs.get)
+        rows.append(
+            [
+                query.constraint1.to_sql("p")[:34],
+                f"k={query.k}/{query.ranking}",
+                b,
+                a,
+                best,
+                f"{obs[best]:.0f}",
+            ]
+        )
+    emit(
+        "plan_cache_regret",
+        render_table(
+            ["constraint", "params", "uncalibrated", "calibrated", "observed best", "best work"],
+            rows,
+            title="Opt-choice regret before/after calibration",
+        )
+        + (
+            f"\noptimal picks: {optimal_picks(before)}/{len(workload)} -> "
+            f"{optimal_picks(after)}/{len(workload)}; "
+            f"regret (work units): {total_regret(before):.0f} -> {total_regret(after):.0f}"
+        ),
+    )
+    emit_json(
+        "plan_cache",
+        {
+            "calibration": {
+                "workload": len(workload),
+                "optimal_picks_before": optimal_picks(before),
+                "optimal_picks_after": optimal_picks(after),
+                "regret_before_work_units": total_regret(before),
+                "regret_after_work_units": total_regret(after),
+                "factors": system.calibrator.snapshot()["strategies"],
+            }
+        },
+    )
+    assert optimal_picks(after) >= optimal_picks(before)
+    assert total_regret(after) <= total_regret(before) + 1e-9

@@ -45,7 +45,13 @@ def test_table3_l4_space_and_queries(benchmark):
         result = system.search(query, "fast-top-k-opt")
         reference = system.search(query, "full-top-k")
         assert result.tids == reference.tids
-        times.append([p_label, f"{result.elapsed_seconds * 1000:.1f}", result.plan_choice])
+        plan = result.plan
+        costs = " ".join(
+            f"{a.strategy}={a.calibrated_cost:.0f}" for a in plan.alternatives
+        )
+        times.append(
+            [p_label, f"{result.elapsed_seconds * 1000:.1f}", f"{plan.strategy} ({costs})"]
+        )
 
     rules = WeakPathRules()
     weak_classes = set()

@@ -20,10 +20,12 @@ automatically when the snapshot schema version changes.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import repro
 from repro.biozon import BiozonConfig, generate
@@ -33,6 +35,9 @@ from repro.persist import SCHEMA_VERSION, load_system, save_system
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SNAPSHOT_DIR = pathlib.Path(__file__).parent / ".snapshots"
+# Machine-readable benchmark output lands at the repo root as
+# BENCH_<name>.json so the perf trajectory is tracked across PRs.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 # Figure 11's four curves: PD, DU, PI, PU.
 FIG11_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -79,6 +84,33 @@ def snapshot_path(
     return SNAPSHOT_DIR / name
 
 
+def private_system(
+    pairs: Tuple[Tuple[str, str], ...] = (("Protein", "DNA"), ("Protein", "Interaction")),
+    max_length: int = 3,
+    seed: int = 7,
+) -> TopologySearchSystem:
+    """A *new* system instance for this configuration (same snapshot
+    reuse as :func:`built_system`, but never the shared object) — for
+    harnesses that mutate engine state such as calibration factors.
+
+    The no-snapshot path generates a *fresh* dataset rather than using
+    the lru-cached one: two systems over one shared ``Database`` would
+    re-materialize each other's derived tables and share executor
+    counters."""
+    path = snapshot_path(pairs, max_length, seed)
+    if snapshots_enabled() and path.exists():
+        try:
+            return load_system(path)
+        except TopologyError:
+            path.unlink()  # corrupt/stale snapshot: rebuild below
+    ds = generate(bench_config(seed))
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build(list(pairs), max_length=max_length)
+    if snapshots_enabled():
+        save_system(system, path)
+    return system
+
+
 @lru_cache(maxsize=4)
 def built_system(
     pairs: Tuple[Tuple[str, str], ...] = (("Protein", "DNA"), ("Protein", "Interaction")),
@@ -87,18 +119,7 @@ def built_system(
 ) -> TopologySearchSystem:
     """A built system for this configuration, restored from a disk
     snapshot when one exists (see module docstring)."""
-    path = snapshot_path(pairs, max_length, seed)
-    if snapshots_enabled() and path.exists():
-        try:
-            return load_system(path)
-        except TopologyError:
-            path.unlink()  # corrupt/stale snapshot: rebuild below
-    ds = dataset(seed)
-    system = TopologySearchSystem(ds.database, ds.graph())
-    system.build(list(pairs), max_length=max_length)
-    if snapshots_enabled():
-        save_system(system, path)
-    return system
+    return private_system(pairs, max_length, seed)
 
 
 def emit(name: str, text: str) -> None:
@@ -107,3 +128,31 @@ def emit(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Merge ``payload`` into ``BENCH_<name>.json`` at the repo root.
+
+    Merging (rather than overwriting) lets several tests in one harness
+    contribute sections to the same file; the ``meta`` block records the
+    scale and engine version the numbers were measured at.  Sections are
+    only merged with an existing file from the *same* scale and engine
+    version — anything else would mix provenance, so the file restarts."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    meta = {
+        "engine_version": repro.__version__,
+        "scale": bench_scale(),
+    }
+    data: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            existing_meta = existing.get("meta", {})
+            if all(existing_meta.get(k) == v for k, v in meta.items()):
+                data = existing
+        except (ValueError, OSError):
+            data = {}
+    data.update(payload)
+    data["meta"] = dict(meta, generated_at=time.strftime("%Y-%m-%dT%H:%M:%S"))
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

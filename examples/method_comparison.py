@@ -65,17 +65,19 @@ def main() -> None:
                 result.work["index_probes"],
                 result.work["groups_skipped"],
                 len(result.tids),
-                (result.plan_choice or "")[:40],
+                result.plan.strategy,
             ]
         )
 
     print(
         render_table(
-            ["method", "ms", "rows", "probes", "skips", "results", "plan choice"],
+            ["method", "ms", "rows", "probes", "skips", "results", "strategy"],
             rows,
             title="All nine methods, one query (top-k methods must agree)",
         )
     )
+    print("\nWhat the optimizer saw (EXPLAIN for fast-top-k-opt):\n")
+    print(system.explain(query, "fast-top-k-opt").display(query))
     print(
         "\nReading guide: the SQL method pays for per-topology existence\n"
         "queries; Full-Top scans the big AllTops table; Fast-Top adds\n"

@@ -69,7 +69,8 @@ def main() -> None:
     for inst in instances:
         print(f"  entities {sorted(map(str, inst.entities()))}")
 
-    # 6. Same query, top-2 by rarity, via the cost-based optimizer.
+    # 6. Same query, top-2 by rarity, via the cost-based optimizer —
+    #    and EXPLAIN: the chosen plan with every alternative's cost.
     topk = TopologyQuery(
         "Protein",
         "DNA",
@@ -79,7 +80,8 @@ def main() -> None:
         ranking="rare",
     )
     ranked = system.search(topk, method="fast-top-k-opt")
-    print(f"\nTop-2 by rarity: {ranked.tids} (plan: {ranked.plan_choice})")
+    print(f"\nTop-2 by rarity: {ranked.tids} (strategy: {ranked.plan.strategy})")
+    print("\n" + system.explain(topk, "fast-top-k-opt").display(topk))
 
     # 7. Persist the offline phase: save once, cold-start from the
     #    snapshot ever after (no rebuild).

@@ -20,6 +20,15 @@ from repro.core.engine import BuildReport, TopologySearchSystem
 from repro.core.instances import InstanceRetriever, TopologyInstance
 from repro.core.methods import ALL_METHOD_NAMES, Method, MethodResult, create_method
 from repro.core.model import ClassSignature, PairTopologies, Topology
+from repro.core.plan import (
+    CostCalibrator,
+    PlanAlternative,
+    PlanCacheStats,
+    PlanClass,
+    Planner,
+    QueryPlan,
+    work_units,
+)
 from repro.core.pruning import PruneReport, apply_pruning, suggest_threshold
 from repro.core.query import (
     AttributeConstraint,
@@ -47,13 +56,19 @@ __all__ = [
     "ClassSignature",
     "ConjunctionConstraint",
     "Constraint",
+    "CostCalibrator",
     "InstanceRetriever",
     "KeywordConstraint",
     "Method",
     "MethodResult",
     "NoConstraint",
     "PairTopologies",
+    "PlanAlternative",
+    "PlanCacheStats",
+    "PlanClass",
+    "Planner",
     "PruneReport",
+    "QueryPlan",
     "RANKING_SCHEMES",
     "Topology",
     "TopologyInstance",
@@ -69,4 +84,5 @@ __all__ = [
     "suggest_threshold",
     "topologies_for_pair",
     "topology_result",
+    "work_units",
 ]

@@ -29,6 +29,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.biozon.schema import database_to_graph
 from repro.core.alltops import AllTopsReport, compute_alltops
 from repro.core.model import Topology
+from repro.core.plan import (
+    CostCalibrator,
+    PlanCache,
+    PlanCacheStats,
+    Planner,
+    QueryPlan,
+    work_units,
+)
 from repro.core.pruning import PruneReport, apply_pruning
 from repro.core.query import TopologyQuery
 from repro.core.store import TopologyStore
@@ -84,6 +92,16 @@ class TopologySearchSystem:
         # top of the system (e.g. repro.service) key their validity on it.
         self.build_generation: int = 0
         self._methods: Dict[str, object] = {}
+        # The plan layer (repro.core.plan): per-strategy cost calibration
+        # learned from execution feedback, the planner that applies it,
+        # and a plan cache keyed by query class so repeated-shape traffic
+        # skips the optimizer.  The cache invalidates itself when
+        # build_generation moves (like the service's result cache).
+        self.calibrator = CostCalibrator()
+        self.planner = Planner(self)
+        self.plan_cache = PlanCache()
+        self.calibration_enabled = True
+        self._plan_generation = self.build_generation
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -270,6 +288,68 @@ class TopologySearchSystem:
         """Run one query with the chosen method."""
         self.validate_query(query)
         return self.method(method).run(query)
+
+    # ------------------------------------------------------------------
+    # Plan layer: caching, EXPLAIN, calibration feedback
+    # ------------------------------------------------------------------
+    def plan_query(
+        self, query: TopologyQuery, method, with_costs: bool = False
+    ) -> QueryPlan:
+        """The plan ``method`` should execute for ``query``, served from
+        the plan cache when its query class was planned before under the
+        current build and calibration state."""
+        self._check_plan_generation()
+        plan_class = self.planner.classify(query, method)
+        cached = self.plan_cache.get(
+            plan_class, self.calibrator.version, require_costed=with_costs
+        )
+        if cached is not None:
+            return cached
+        plan = self.planner.plan_for(method, query, with_costs=with_costs)
+        self.plan_cache.put(plan_class, self.calibrator.version, plan)
+        return plan
+
+    def explain(self, query: TopologyQuery, method: str = "fast-top-k-opt") -> QueryPlan:
+        """The plan ``search(query, method)`` would execute, with every
+        alternative's estimated and calibrated cost filled in — render
+        it with :meth:`~repro.core.plan.QueryPlan.display`."""
+        self.validate_query(query)
+        return self.plan_query(query, self.method(method), with_costs=True)
+
+    def record_plan_observation(self, plan: QueryPlan, work: Dict[str, int]) -> None:
+        """Feed one execution's (estimated cost, observed work) pair to
+        the calibrator.  Only plans from methods that price their
+        strategy on the hot path contribute — a plan that is costed
+        merely because an EXPLAIN forced estimates must not (its
+        execution regime may not match the estimate's basis)."""
+        if not self.calibration_enabled or not plan.feeds_calibration:
+            return
+        chosen = plan.chosen
+        if chosen is None or chosen.estimated_cost is None:
+            return
+        observed = work_units(work)
+        if observed <= 0.0:
+            return
+        self.calibrator.record(plan.calibration_key, chosen.estimated_cost, observed)
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached plan (counters survive)."""
+        self.plan_cache.clear()
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        return self.plan_cache.stats()
+
+    def restore_calibration(self, state: Optional[Dict[str, object]]) -> None:
+        """Install persisted calibration state (snapshot restore path)
+        and drop plans made under the previous factors."""
+        self.calibrator = CostCalibrator.from_state(state)
+        self.invalidate_plans()
+
+    def _check_plan_generation(self) -> None:
+        """Drop cached plans when the store was rebuilt behind them."""
+        if self.build_generation != self._plan_generation:
+            self.plan_cache.clear()
+            self._plan_generation = self.build_generation
 
     # ------------------------------------------------------------------
     # Convenience

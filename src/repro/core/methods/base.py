@@ -1,4 +1,12 @@
-"""Common scaffolding for the nine query methods."""
+"""Common scaffolding for the nine query methods.
+
+Every method runs in two phases: :meth:`Method.plan` obtains a
+:class:`~repro.core.plan.QueryPlan` (through the engine's plan cache, so
+repeated-shape traffic skips the optimizer) and :meth:`Method.execute`
+carries it out.  :meth:`Method.run` wires the two together with the
+timing/counter rig and feeds the executed plan's (estimated cost,
+observed work) pair back to the engine's cost calibrator.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +14,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.plan import STRATEGY_REGULAR, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.core.ranking import score_column
+from repro.relational.sql.tokens import sql_quote
 
 
 @dataclass
@@ -18,6 +28,11 @@ class MethodResult:
     on ties) for top-k methods, sorted ascending for exhaustive methods.
     ``work`` captures the executor counters consumed (rows scanned,
     index probes, ...), a noise-free complement to wall-clock time.
+    ``plan`` is the structured :class:`~repro.core.plan.QueryPlan` the
+    method executed; ``planning_seconds`` is the share of
+    ``elapsed_seconds`` spent obtaining it (near zero on a plan-cache
+    hit).  ``plan_choice`` derives the old free-text label from the
+    plan, kept for backward compatibility.
     """
 
     method: str
@@ -26,7 +41,13 @@ class MethodResult:
     scores: Optional[List[float]]
     elapsed_seconds: float
     work: Dict[str, int] = field(default_factory=dict)
-    plan_choice: Optional[str] = None
+    plan: Optional[QueryPlan] = None
+    planning_seconds: float = 0.0
+
+    @property
+    def plan_choice(self) -> Optional[str]:
+        """Short human-readable plan label (derived from ``plan``)."""
+        return self.plan.choice if self.plan is not None else None
 
     @property
     def ranked(self) -> List[Tuple[int, float]]:
@@ -36,10 +57,31 @@ class MethodResult:
 
 
 class Method:
-    """Base class: holds the system handle and the timing/counter rig."""
+    """Base class: holds the system handle and the timing/counter rig.
+
+    Planning metadata consumed by :class:`~repro.core.plan.Planner`:
+
+    ``plan_strategies``
+        The strategy menu (one entry for fixed-strategy methods, the
+        regular/ET triple for the cost-based ``*-Opt`` methods).
+    ``cost_based``
+        True when :meth:`plan` must choose among the strategies by
+        calibrated cost (the ``*-Opt`` methods).
+    ``estimates_costs``
+        True when the single fixed strategy is priced anyway, so every
+        execution feeds the calibrator (all top-k methods).
+    ``pairs_table`` / ``use_pruned_store``
+        Which materialized pairs table the plan joins, and whether it is
+        the pruned one (LeftTops + online SQL5 checks).
+    """
 
     name = "abstract"
     is_topk = False
+    cost_based = False
+    estimates_costs = False
+    plan_strategies: Tuple[str, ...] = (STRATEGY_REGULAR,)
+    pairs_table: Optional[str] = None
+    use_pruned_store = False
 
     def __init__(self, system) -> None:
         self.system = system
@@ -47,26 +89,36 @@ class Method:
     # -- Template ----------------------------------------------------------
     def run(self, query: TopologyQuery) -> MethodResult:
         self.system.validate_query(query)
+        t0 = time.perf_counter()
+        plan = self.plan(query)
+        planning_seconds = time.perf_counter() - t0
         stats = self.system.database.stats
         before = stats.snapshot()
-        start = time.perf_counter()
-        tids, scores, plan_choice = self._execute(query)
-        elapsed = time.perf_counter() - start
+        t1 = time.perf_counter()
+        tids, scores = self.execute(plan, query)
+        execute_seconds = time.perf_counter() - t1
         after = stats.snapshot()
         work = {k: after[k] - before[k] for k in after}
+        self.system.record_plan_observation(plan, work)
         return MethodResult(
             method=self.name,
             query=query,
             tids=tids,
             scores=scores,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=planning_seconds + execute_seconds,
             work=work,
-            plan_choice=plan_choice,
+            plan=plan,
+            planning_seconds=planning_seconds,
         )
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def plan(self, query: TopologyQuery) -> QueryPlan:
+        """The plan this method will execute (engine plan cache aware)."""
+        return self.system.plan_query(query, self)
+
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
+        """Carry out a plan produced by :meth:`plan`."""
         raise NotImplementedError
 
     # -- Shared helpers ------------------------------------------------------
@@ -98,7 +150,8 @@ class Method:
     def _entity_pair_filter(self, query: TopologyQuery, topinfo_alias: str) -> str:
         es1, es2 = self.system.store_entity_pair(query)
         return (
-            f"{topinfo_alias}.ES1 = '{es1}' AND {topinfo_alias}.ES2 = '{es2}'"
+            f"{topinfo_alias}.ES1 = {sql_quote(es1)} "
+            f"AND {topinfo_alias}.ES2 = {sql_quote(es2)}"
         )
 
     def _rank(self, scored: Dict[int, float], k: Optional[int]) -> Tuple[List[int], List[float]]:

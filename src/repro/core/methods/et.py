@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.methods.base import Method
 from repro.core.methods.fast_top import FastTopMethod
+from repro.core.plan import QueryPlan
 from repro.core.query import TopologyQuery
 from repro.errors import TopologyError
 from repro.relational.expressions import (
@@ -44,7 +45,9 @@ from repro.relational.operators import (
 
 class _EtBase(Method):
     is_topk = True
+    estimates_costs = True
     pairs_table = "LeftTops"
+    use_pruned_store = True
     include_pruned_checks = True
 
     def __init__(self, system, flavor: str = "idgj") -> None:
@@ -52,6 +55,7 @@ class _EtBase(Method):
         if flavor not in ("idgj", "hdgj"):
             raise TopologyError("flavor must be 'idgj' or 'hdgj'")
         self.flavor = flavor
+        self.plan_strategies = (f"et-{flavor}",)
         self._fast_top = FastTopMethod(system)
 
     # ------------------------------------------------------------------
@@ -129,9 +133,9 @@ class _EtBase(Method):
     # ------------------------------------------------------------------
     # Driver: merge the DGJ stream with pruned-topology checks
     # ------------------------------------------------------------------
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         if query.k is None:
             raise TopologyError(f"{self.name} requires a top-k query")
         stack = self.build_stack(query)
@@ -180,7 +184,7 @@ class _EtBase(Method):
 
         tids = [t for t, _ in results]
         scores = [s for _, s in results]
-        return tids, scores, self.flavor
+        return tids, scores
 
 
 class FullTopKEtMethod(_EtBase):
@@ -188,6 +192,7 @@ class FullTopKEtMethod(_EtBase):
 
     name = "full-top-k-et"
     pairs_table = "AllTops"
+    use_pruned_store = False
     include_pruned_checks = False
 
 

@@ -13,11 +13,14 @@ from typing import List, Optional, Tuple
 from repro.core.methods.base import Method
 from repro.core.model import Topology
 from repro.core.pathsql import multi_chain_fragments
+from repro.core.plan import QueryPlan
 from repro.core.query import TopologyQuery
 
 
 class FastTopMethod(Method):
     name = "fast-top"
+    pairs_table = "LeftTops"
+    use_pruned_store = True
 
     def pruned_topologies(self, query: TopologyQuery) -> List[Topology]:
         store = self.system.require_store()
@@ -70,14 +73,13 @@ class FastTopMethod(Method):
             branches.append(self.pruned_branch_sql(query, topology))
         return "\nUNION\n".join(branches)
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         result = self.system.engine.execute(self.sql_for(query))
         tids = sorted(row[0] for row in result.rows)
         if query.k is None:
-            return tids, None, None
+            return tids, None
         store = self.system.require_store()
         scored = {t: store.topology(t).scores[query.ranking] for t in tids}
-        ranked_tids, scores = self._rank(scored, query.k)
-        return ranked_tids, scores, None
+        return self._rank(scored, query.k)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.methods.base import Method
+from repro.core.plan import QueryPlan
 from repro.core.query import TopologyQuery
 
 
@@ -33,14 +34,13 @@ class FullTopMethod(Method):
             f"  AND {join1} AND {join2}"
         )
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         result = self.system.engine.execute(self.sql_for(query))
         tids = sorted(row[0] for row in result.rows)
         if query.k is None:
-            return tids, None, None
+            return tids, None
         store = self.system.require_store()
         scored = {t: store.topology(t).scores[query.ranking] for t in tids}
-        ranked_tids, scores = self._rank(scored, query.k)
-        return ranked_tids, scores, None
+        return self._rank(scored, query.k)

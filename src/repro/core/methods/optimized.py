@@ -1,12 +1,20 @@
 """Cost-based method choice (Section 5.4): the ``*-Opt`` methods.
 
-Fast-Top-k-Opt / Full-Top-k-Opt estimate the cost of (a) the regular
-staged top-k plan, via the System-R enumerator's cost for the SQL4 join
-block plus the final sort, and (b) the DGJ stack, via the paper's
-Theorem-1 dynamic program over (np_i, nc_i, ec_i) — then run whichever
-is cheaper.  IDGJ and HDGJ stack costs are both evaluated, so the
-chosen ET flavor can differ per query (the paper's "best and worst
-plans" cases in Table 2).
+Fast-Top-k-Opt / Full-Top-k-Opt are the cost-based methods: their
+:meth:`~repro.core.methods.base.Method.plan` asks the engine's
+:class:`~repro.core.plan.Planner` to price (a) the regular staged top-k
+plan, via the System-R enumerator's cost for the SQL4 join block plus
+the final sort, and (b) both DGJ stacks, via the paper's Theorem-1
+dynamic program over (np_i, nc_i, ec_i) — then :meth:`execute` runs the
+delegate for whichever strategy the plan chose.  IDGJ and HDGJ stack
+costs are both evaluated, so the chosen ET flavor can differ per query
+(the paper's "best and worst plans" cases in Table 2).
+
+The estimation itself lives in :mod:`repro.core.plan`; plans are cached
+per query class, so repeated-shape traffic skips the enumeration and
+the dynamic programs entirely, and the
+:class:`~repro.core.plan.CostCalibrator`'s learned per-strategy factors
+are applied before the comparison.
 """
 
 from __future__ import annotations
@@ -16,128 +24,46 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.methods.base import Method
 from repro.core.methods.et import FastTopKEtMethod, FullTopKEtMethod
 from repro.core.methods.topk import FastTopKMethod, FullTopKMethod
+from repro.core.plan import (
+    STRATEGY_ET_HDGJ,
+    STRATEGY_ET_IDGJ,
+    STRATEGY_REGULAR,
+    QueryPlan,
+)
 from repro.core.query import TopologyQuery
 from repro.errors import TopologyError
-from repro.relational.expressions import ColumnRef, Comparison
-from repro.relational.optimizer import cost as C
-from repro.relational.optimizer.dgj_cost import (
-    DgjLevel,
-    hdgj_stack_cost,
-    idgj_stack_cost,
-)
-from repro.relational.optimizer.logical import build_block
 
 
 class _OptBase(Method):
     is_topk = True
+    cost_based = True
+    estimates_costs = True
+    plan_strategies = (STRATEGY_REGULAR, STRATEGY_ET_IDGJ, STRATEGY_ET_HDGJ)
     pairs_table = "LeftTops"
     use_pruned_store = True
 
     def __init__(self, system) -> None:
         super().__init__(system)
         if self.use_pruned_store:
-            self._regular = FastTopKMethod(system)
-            self._et_idgj = FastTopKEtMethod(system, flavor="idgj")
-            self._et_hdgj = FastTopKEtMethod(system, flavor="hdgj")
+            self._delegates = {
+                STRATEGY_REGULAR: FastTopKMethod(system),
+                STRATEGY_ET_IDGJ: FastTopKEtMethod(system, flavor="idgj"),
+                STRATEGY_ET_HDGJ: FastTopKEtMethod(system, flavor="hdgj"),
+            }
         else:
-            self._regular = FullTopKMethod(system)
-            self._et_idgj = FullTopKEtMethod(system, flavor="idgj")
-            self._et_hdgj = FullTopKEtMethod(system, flavor="hdgj")
+            self._delegates = {
+                STRATEGY_REGULAR: FullTopKMethod(system),
+                STRATEGY_ET_IDGJ: FullTopKEtMethod(system, flavor="idgj"),
+                STRATEGY_ET_HDGJ: FullTopKEtMethod(system, flavor="hdgj"),
+            }
 
-    # ------------------------------------------------------------------
-    # Cost estimation
-    # ------------------------------------------------------------------
-    def _stack_parameters(
-        self, query: TopologyQuery
-    ) -> Tuple[List[DgjLevel], List[float]]:
-        store = self.system.require_store()
-        stats = self.system.stats
-        pair = self.system.store_entity_pair(query)
-        topologies = [
-            t
-            for t in store.topologies.values()
-            if t.entity_pair == pair
-            and not (self.use_pruned_store and t.tid in store.pruned_tids)
-        ]
-        # Groups arrive in score order; Card_i = the topology's pair
-        # count (one pairs-table row per related pair).
-        topologies.sort(key=lambda t: (-t.scores[query.ranking], -t.tid))
-        cards = [float(t.frequency) for t in topologies]
-
-        levels: List[DgjLevel] = []
-        for entity, constraint in (
-            (query.entity1, query.constraint1),
-            (query.entity2, query.constraint2),
-        ):
-            n = float(stats.row_count(entity))
-            rho = stats.predicate_selectivity(
-                constraint.to_expression("x"), {"x": entity}
-            )
-            levels.append(
-                DgjLevel(
-                    relation_rows=n,
-                    probe_cost=C.INDEX_PROBE_COST,
-                    local_selectivity=max(1e-9, min(1.0, rho)),
-                    join_selectivity=1.0 / max(n, 1.0),
-                )
-            )
-        return levels, cards
-
-    def estimate_et_costs(self, query: TopologyQuery) -> Dict[str, float]:
-        levels, cards = self._stack_parameters(query)
-        k = query.k or 10
-        return {
-            "idgj": idgj_stack_cost(levels, cards, k),
-            "hdgj": hdgj_stack_cost(levels, cards, k, scan_row_cost=C.ROW_COST),
-        }
-
-    def estimate_regular_cost(self, query: TopologyQuery) -> float:
-        """Cost of the SQL4 block under the System-R enumerator, plus
-        the final sort that regular plans cannot avoid (Section 5.2)."""
-        oriented = self.system.orientation(query)
-        col1 = "e1" if oriented else "e2"
-        col2 = "e2" if oriented else "e1"
-        relations = [
-            (query.entity1, "q1"),
-            (query.entity2, "q2"),
-            (self.pairs_table, "lt"),
-            ("TopInfo", "t"),
-        ]
-        conjuncts = [
-            query.constraint1.to_expression("q1"),
-            query.constraint2.to_expression("q2"),
-            Comparison("=", ColumnRef("q1", "id"), ColumnRef("lt", col1)),
-            Comparison("=", ColumnRef("q2", "id"), ColumnRef("lt", col2)),
-            Comparison("=", ColumnRef("t", "tid"), ColumnRef("lt", "tid")),
-        ]
-        block = build_block(relations, conjuncts)
-        optimizer = self.system.engine.planner.optimizer
-        best = optimizer.optimize(block)
-        return best.cost + C.sort_cost(best.est_rows)
-
-    # ------------------------------------------------------------------
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         if query.k is None:
             raise TopologyError(f"{self.name} requires a top-k query")
-        et_costs = self.estimate_et_costs(query)
-        regular_cost = self.estimate_regular_cost(query)
-        best_flavor = min(et_costs, key=et_costs.get)
-        if et_costs[best_flavor] < regular_cost:
-            delegate = self._et_idgj if best_flavor == "idgj" else self._et_hdgj
-            choice = (
-                f"et-{best_flavor} (et={et_costs[best_flavor]:.0f}, "
-                f"regular={regular_cost:.0f})"
-            )
-        else:
-            delegate = self._regular
-            choice = (
-                f"regular (et={et_costs[best_flavor]:.0f}, "
-                f"regular={regular_cost:.0f})"
-            )
-        tids, scores, _ = delegate._execute(query)
-        return tids, scores, choice
+        delegate = self._delegates[plan.strategy]
+        return delegate.execute(plan, query)
 
 
 class FastTopKOptMethod(_OptBase):

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.methods.base import Method
 from repro.core.model import Topology
 from repro.core.pathsql import multi_chain_fragments
+from repro.core.plan import STRATEGY_PER_TOPOLOGY, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.core.topologies import topologies_for_pair
 from repro.errors import TopologyError
@@ -33,6 +34,7 @@ from repro.graph.schema_enum import enumerate_possible_topologies
 
 class SqlMethod(Method):
     name = "sql"
+    plan_strategies = (STRATEGY_PER_TOPOLOGY,)
 
     def __init__(
         self,
@@ -104,17 +106,16 @@ class SqlMethod(Method):
                 return True
         return False
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         found: List[int] = []
         for topology in self._candidates(query):
             if self._topology_has_witness(query, topology):
                 found.append(topology.tid)
         found.sort()
         if query.k is None:
-            return found, None, None
+            return found, None
         store = self.system.require_store()
         scored = {t: store.topology(t).scores[query.ranking] for t in found}
-        tids, scores = self._rank(scored, query.k)
-        return tids, scores, None
+        return self._rank(scored, query.k)

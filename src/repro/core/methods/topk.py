@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.methods.base import Method
 from repro.core.methods.fast_top import FastTopMethod
+from repro.core.plan import QueryPlan
 from repro.core.query import TopologyQuery
 from repro.errors import TopologyError
 
@@ -21,6 +22,7 @@ from repro.errors import TopologyError
 class FullTopKMethod(Method):
     name = "full-top-k"
     is_topk = True
+    estimates_costs = True
     pairs_table = "AllTops"
 
     def sql_for(self, query: TopologyQuery) -> str:
@@ -38,18 +40,21 @@ class FullTopKMethod(Method):
             f"FETCH FIRST {query.k} ROWS ONLY"
         )
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         result = self.system.engine.execute(self.sql_for(query))
         tids = [row[0] for row in result.rows]
         scores = [row[1] for row in result.rows]
-        return tids, scores, None
+        return tids, scores
 
 
 class FastTopKMethod(Method):
     name = "fast-top-k"
     is_topk = True
+    estimates_costs = True
+    pairs_table = "LeftTops"
+    use_pruned_store = True
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -75,9 +80,9 @@ class FastTopKMethod(Method):
         branch = self._fast_top.pruned_branch_sql(query, topology)
         return branch + "\nFETCH FIRST 1 ROWS ONLY"
 
-    def _execute(
-        self, query: TopologyQuery
-    ) -> Tuple[List[int], Optional[List[float]], Optional[str]]:
+    def execute(
+        self, plan: QueryPlan, query: TopologyQuery
+    ) -> Tuple[List[int], Optional[List[float]]]:
         if query.k is None:
             raise TopologyError(f"{self.name} requires a top-k query")
         engine = self.system.engine
@@ -104,4 +109,4 @@ class FastTopKMethod(Method):
                 ranked = ranked[: query.k]
         tids = [t for t, _ in ranked]
         scores = [s for _, s in ranked]
-        return tids, scores, None
+        return tids, scores

@@ -1,0 +1,737 @@
+"""First-class online-phase query plans (Section 5.4, reified).
+
+The paper's headline online result is a *decision*: for every top-k
+query, compare the estimated cost of the regular staged plan against the
+DGJ early-termination stacks and run the cheaper one (Tables 2-3,
+Figures 14-15).  This module turns that decision into a durable object
+instead of a side effect:
+
+``QueryPlan``
+    What a method decided to run: the chosen strategy, the pairs table,
+    and every alternative's estimated + calibrated cost.  Rendered by
+    :meth:`QueryPlan.display` as a Figure-14/15-style plan tree.
+``PlanClass``
+    The cache key — a query's *class*: entity pair, constraint shape
+    with selectivity bucket, ``l``, k-bucket, and ranking.  Queries in
+    the same class share one plan, so repeated-shape traffic skips the
+    optimizer entirely.
+``Planner``
+    Produces plans.  Subsumes the cost logic previously inlined in
+    ``core/methods/optimized.py``: the System-R estimate for the SQL4
+    block plus final sort, and the Theorem-1 dynamic programs for the
+    IDGJ/HDGJ stacks — then applies the calibrator's per-strategy scale
+    factors before choosing.
+``CostCalibrator``
+    Learns per-strategy scale factors from (estimated cost, observed
+    work) feedback: the factor is the geometric mean of observed/
+    estimated ratios, so a systematically mispriced strategy stops being
+    chosen.  Its ``version`` bumps when a factor drifts materially,
+    which lazily invalidates cached plans.
+``PlanCache``
+    A small LRU over ``PlanClass`` keys with hit/miss counters, owned by
+    :class:`~repro.core.engine.TopologySearchSystem` and invalidated by
+    ``build_generation`` (like the result cache in :mod:`repro.service`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import (
+    AttributeConstraint,
+    ConjunctionConstraint,
+    Constraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+)
+from repro.core.ranking import score_column
+from repro.relational.expressions import ColumnRef, Comparison
+from repro.relational.optimizer import cost as C
+from repro.relational.optimizer.dgj_cost import (
+    DgjLevel,
+    hdgj_stack_cost,
+    idgj_stack_cost,
+)
+from repro.relational.optimizer.logical import build_block
+from repro.relational.sql.tokens import sql_quote
+
+# Strategy names shared by plans, methods, and the calibrator.
+STRATEGY_REGULAR = "regular"
+STRATEGY_ET_IDGJ = "et-idgj"
+STRATEGY_ET_HDGJ = "et-hdgj"
+STRATEGY_PER_TOPOLOGY = "per-topology"
+ET_STRATEGIES = (STRATEGY_ET_IDGJ, STRATEGY_ET_HDGJ)
+
+# k used for pricing when a cost-based plan is asked about a k-less
+# query (matches the pre-refactor ``query.k or 10``).
+DEFAULT_COST_K = 10
+
+# Executor counters -> abstract work units, on the cost model's scale
+# (cost.py): the calibrator compares these against estimated costs.
+WORK_UNIT_WEIGHTS: Dict[str, float] = {
+    "rows_scanned": C.ROW_COST,
+    "index_probes": C.INDEX_PROBE_COST,
+    "rows_joined": C.HASH_PROBE_COST,
+    "rows_emitted": C.OUTPUT_ROW_COST,
+    "subqueries_run": 5.0,
+}
+
+
+def work_units(work: Dict[str, int]) -> float:
+    """Collapse executor counters into one scalar on the cost model's
+    abstract scale — the "observed cost" side of calibration."""
+    return float(
+        sum(WORK_UNIT_WEIGHTS.get(name, 0.0) * count for name, count in work.items())
+    )
+
+
+def calibration_key(pairs_table: Optional[str], strategy: str) -> str:
+    """The calibrator's fit key.  Factors are scoped per (pairs table,
+    strategy): the full- and fast- families execute against different
+    tables with different estimate regimes (AllTops single join vs
+    LeftTops + staged pruned checks), so their feedback must not blend
+    into one shared factor."""
+    return f"{pairs_table}:{strategy}" if pairs_table else strategy
+
+
+def selectivity_bucket(selectivity: float) -> int:
+    """Decimal order of magnitude of a selectivity (0 = everything,
+    -1 = ~10%, ...).  Two constraints in the same bucket are treated as
+    the same plan class."""
+    clamped = min(1.0, max(1e-9, selectivity))
+    return int(math.floor(math.log10(clamped) + 1e-12))
+
+
+def k_bucket(k: Optional[int]) -> int:
+    """Power-of-two bucket for the top-k cut-off (0 = exhaustive)."""
+    if k is None:
+        return 0
+    return 1 << max(0, (int(k) - 1).bit_length())
+
+
+def constraint_structure(constraint: Constraint) -> Tuple:
+    """Structural shape of a constraint, value-free: which columns and
+    operators it touches, not which literals."""
+    if isinstance(constraint, NoConstraint):
+        return ("all",)
+    if isinstance(constraint, KeywordConstraint):
+        return ("contains", constraint.column.lower())
+    if isinstance(constraint, AttributeConstraint):
+        return ("cmp", constraint.column.lower(), constraint.op)
+    if isinstance(constraint, ConjunctionConstraint):
+        return ("and",) + tuple(constraint_structure(p) for p in constraint.parts)
+    return (type(constraint).__name__.lower(),)
+
+
+@dataclass(frozen=True)
+class PlanClass:
+    """A query's equivalence class for planning purposes.
+
+    Two queries in the same class get the same plan: same method and
+    strategy menu, same entity pair (in query orientation), same
+    constraint shapes *and* selectivity buckets, same ``l``, the same
+    k-bucket, and the same ranking scheme."""
+
+    method: str
+    strategies: Tuple[str, ...]
+    entity1: str
+    entity2: str
+    shape1: Tuple
+    shape2: Tuple
+    max_length: int
+    k_bucket: int
+    ranking: str
+
+    def describe(self) -> str:
+        k_part = f", k<={self.k_bucket} by {self.ranking}" if self.k_bucket else ""
+        return (
+            f"({self.entity1} x {self.entity2}, l={self.max_length}{k_part}, "
+            f"sel1~1e{self.shape1[-1]}, sel2~1e{self.shape2[-1]})"
+        )
+
+
+@dataclass(frozen=True)
+class PlanAlternative:
+    """One strategy the planner considered, with its raw estimate and
+    the calibration factor in force when the plan was made."""
+
+    strategy: str
+    estimated_cost: Optional[float]
+    calibration_factor: float = 1.0
+
+    @property
+    def calibrated_cost(self) -> Optional[float]:
+        if self.estimated_cost is None:
+            return None
+        return self.estimated_cost * self.calibration_factor
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """What a method will execute for one plan class.
+
+    ``strategy`` is the chosen alternative; ``alternatives`` keeps every
+    considered strategy with its estimated and calibrated cost (the
+    EXPLAIN payload).  ``choice`` derives the old free-text
+    ``plan_choice`` label for backward compatibility."""
+
+    method: str
+    strategy: str
+    plan_class: PlanClass
+    alternatives: Tuple[PlanAlternative, ...]
+    pairs_table: Optional[str] = None
+    oriented: bool = True
+    store_pair: Tuple[str, str] = ("", "")
+    is_topk: bool = False
+    include_pruned_checks: bool = False
+    costed: bool = False
+    # True only for methods that price their strategy on the hot path
+    # (never merely because an EXPLAIN forced costs): gates whether
+    # executions of this plan feed the calibrator.
+    feeds_calibration: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def calibration_key(self) -> str:
+        """The calibrator fit this plan's executions feed/read."""
+        return calibration_key(self.pairs_table, self.strategy)
+
+    @property
+    def et_flavor(self) -> Optional[str]:
+        """DGJ flavor ('idgj'/'hdgj') when an ET strategy was chosen."""
+        if self.strategy.startswith("et-"):
+            return self.strategy[3:]
+        return None
+
+    @property
+    def chosen(self) -> Optional[PlanAlternative]:
+        for alternative in self.alternatives:
+            if alternative.strategy == self.strategy:
+                return alternative
+        return None
+
+    @property
+    def estimated_cost(self) -> Optional[float]:
+        chosen = self.chosen
+        return chosen.estimated_cost if chosen is not None else None
+
+    @property
+    def calibrated_cost(self) -> Optional[float]:
+        chosen = self.chosen
+        return chosen.calibrated_cost if chosen is not None else None
+
+    @property
+    def has_costs(self) -> bool:
+        return any(a.estimated_cost is not None for a in self.alternatives)
+
+    @property
+    def choice(self) -> str:
+        """Short label (the old ``MethodResult.plan_choice`` string)."""
+        if len(self.alternatives) > 1 and self.has_costs:
+            inner = ", ".join(
+                f"{a.strategy}={a.calibrated_cost:.0f}"
+                for a in self.alternatives
+                if a.calibrated_cost is not None
+            )
+            return f"{self.strategy} ({inner})"
+        return self.strategy
+
+    # ------------------------------------------------------------------
+    def display(self, query: Optional[TopologyQuery] = None) -> str:
+        """Render the plan the way the paper draws Figures 14/15: the
+        alternatives with their costs, then the chosen operator tree.
+        Pass the concrete ``query`` to show its actual constraints."""
+        lines = [f"QueryPlan[{self.method}] strategy={self.strategy}"]
+        if query is not None:
+            lines.append(f"  query: {query.describe()}")
+        lines.append(f"  class: {self.plan_class.describe()}")
+        if self.has_costs:
+            lines.append("  alternatives (est x factor -> calibrated):")
+            for alt in self.alternatives:
+                marker = "*" if alt.strategy == self.strategy else " "
+                if alt.estimated_cost is None:
+                    lines.append(f"  {marker} {alt.strategy:<10} n/a")
+                    continue
+                lines.append(
+                    f"  {marker} {alt.strategy:<10} {alt.estimated_cost:12.1f}"
+                    f" x {alt.calibration_factor:<6.3f} -> {alt.calibrated_cost:12.1f}"
+                )
+        lines.append("  operator tree:")
+        lines.extend("    " + line for line in self._tree(query))
+        return "\n".join(lines)
+
+    def _tree(self, query: Optional[TopologyQuery]) -> List[str]:
+        pc = self.plan_class
+        cond1 = query.constraint1.to_sql("q1") if query else "<constraint1>"
+        cond2 = query.constraint2.to_sql("q2") if query else "<constraint2>"
+        if self.strategy == STRATEGY_PER_TOPOLOGY:
+            return [
+                "ForEach(candidate topology T)",
+                "└─ Exists(path-condition chain joins of T",
+                f"          over {pc.entity1} q1 [{cond1}], {pc.entity2} q2 [{cond2}])",
+            ]
+        if self.strategy in ET_STRATEGIES:  # Figure 15
+            entity_op = "IDGJ" if self.strategy == STRATEGY_ET_IDGJ else "HDGJ"
+            score = score_column(pc.ranking)
+            pruned = ", PRUNED=FALSE" if self.include_pruned_checks else ""
+            lines = [
+                f"FirstPerGroup(stop after k<={pc.k_bucket or '?'} groups)",
+                f"└─ {entity_op}({pc.entity2} q2, residual [{cond2}])",
+                f"   └─ {entity_op}({pc.entity1} q1, residual [{cond1}])",
+                f"      └─ IDGJ({self.pairs_table} on TID)",
+                f"         └─ GroupFilter(ES1={sql_quote(self.store_pair[0])}, "
+                f"ES2={sql_quote(self.store_pair[1])}{pruned})",
+                f"            └─ OrderedIndexScan(TopInfo.{score} desc)",
+            ]
+            if self.include_pruned_checks:
+                lines.append("[pruned topologies merged by score via SQL5 checks]")
+            return lines
+        # Regular strategy (Figure 14): System-R over the join block.
+        tables = [
+            f"{pc.entity1} q1 [{cond1}]",
+            f"{pc.entity2} q2 [{cond2}]",
+            f"{self.pairs_table or '<pairs>'}",
+        ]
+        if self.is_topk:
+            score = score_column(pc.ranking)
+            head = f"TopN(k<={pc.k_bucket or '?'}, {score} desc, TID desc)"
+            tables.append("TopInfo T")
+        else:
+            head = "Distinct(TID)"
+        lines = [head, "└─ System-R join block over:"]
+        lines.extend(f"     {t}" for t in tables)
+        if self.include_pruned_checks:
+            if self.is_topk:
+                lines.append("[staged SQL5 checks for pruned topologies that can reach the top k]")
+            else:
+                lines.append("[one UNION branch (SQL1) per pruned topology]")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+@dataclass
+class _StrategyFit:
+    """Running per-strategy aggregates: geometric-mean ratio state."""
+
+    count: int = 0
+    sum_log_ratio: float = 0.0
+    # Factor in force at the last version bump; drift beyond
+    # DRIFT_RATIO from it triggers the next bump.
+    last_applied_factor: float = 1.0
+
+
+class CostCalibrator:
+    """Per-strategy scale factors learned from execution feedback.
+
+    Fits are keyed by :func:`calibration_key` — (pairs table, strategy)
+    — so the full- and fast- families' different execution regimes do
+    not blend into one factor (the key is opaque to this class).  Each
+    observation is (estimated cost, observed work units) for the
+    strategy that actually ran.  The factor applied by the planner is
+    the geometric mean of observed/estimated ratios — robust to the
+    abstract-unit mismatch between the cost model and the executor
+    counters, and stable under skewed workloads.  ``version`` increments
+    whenever a factor drifts more than :data:`DRIFT_RATIO` from the
+    value cached plans were made with, so stale plans re-plan lazily."""
+
+    MIN_OBSERVATIONS = 3
+    DRIFT_RATIO = 1.25
+    FACTOR_BOUNDS = (1e-3, 1e3)
+    _LOG_CLAMP = 12.0
+
+    def __init__(self) -> None:
+        self._fits: Dict[str, _StrategyFit] = {}
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    def factor(self, strategy: str) -> float:
+        """Scale factor for a strategy (1.0 until enough feedback)."""
+        fit = self._fits.get(strategy)
+        if fit is None or fit.count < self.MIN_OBSERVATIONS:
+            return 1.0
+        raw = math.exp(fit.sum_log_ratio / fit.count)
+        low, high = self.FACTOR_BOUNDS
+        return min(high, max(low, raw))
+
+    def record(self, strategy: str, estimated: float, observed: float) -> None:
+        """Fold one (estimated, observed) pair into the strategy's fit."""
+        if estimated <= 0.0 or observed <= 0.0:
+            return
+        fit = self._fits.setdefault(strategy, _StrategyFit())
+        fit.count += 1
+        ratio = math.log(observed / estimated)
+        fit.sum_log_ratio += max(-self._LOG_CLAMP, min(self._LOG_CLAMP, ratio))
+        current = self.factor(strategy)
+        drift = current / fit.last_applied_factor
+        if fit.count >= self.MIN_OBSERVATIONS and (
+            drift > self.DRIFT_RATIO or drift < 1.0 / self.DRIFT_RATIO
+        ):
+            fit.last_applied_factor = current
+            self.version += 1
+
+    def observation_count(self, strategy: Optional[str] = None) -> int:
+        if strategy is not None:
+            fit = self._fits.get(strategy)
+            return fit.count if fit else 0
+        return sum(fit.count for fit in self._fits.values())
+
+    def reset(self) -> None:
+        self._fits.clear()
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Introspection + persistence (repro.persist stores export_state()
+    # in the snapshot meta so a restored service keeps learned factors).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "strategies": {
+                name: {"count": fit.count, "factor": self.factor(name)}
+                for name, fit in sorted(self._fits.items())
+            },
+        }
+
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "strategies": {
+                name: {
+                    "count": fit.count,
+                    "sum_log_ratio": fit.sum_log_ratio,
+                    "last_applied_factor": fit.last_applied_factor,
+                }
+                for name, fit in sorted(self._fits.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Optional[Dict[str, Any]]) -> "CostCalibrator":
+        calibrator = cls()
+        if not state:
+            return calibrator
+        calibrator.version = int(state.get("version", 0))
+        for name, fit in state.get("strategies", {}).items():
+            calibrator._fits[name] = _StrategyFit(
+                count=int(fit["count"]),
+                sum_log_ratio=float(fit["sum_log_ratio"]),
+                last_applied_factor=float(fit.get("last_applied_factor", 1.0)),
+            )
+        return calibrator
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Counters snapshot for the engine's plan cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+    invalidations: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """LRU of ``PlanClass -> QueryPlan`` with calibrator versioning.
+
+    An entry made under an older calibrator version is treated as a
+    miss (its calibrated costs — and possibly its choice — are stale)
+    and is replaced by the caller's fresh plan."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanClass, Tuple[int, QueryPlan]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(
+        self,
+        plan_class: PlanClass,
+        version: int,
+        require_costed: bool = False,
+    ) -> Optional[QueryPlan]:
+        """The cached plan, or ``None``.  An entry from an older
+        calibrator version — or an uncosted one when the caller needs
+        costs (EXPLAIN) — counts as a miss: the caller re-plans in
+        full, so the counters must say so."""
+        entry = self._entries.get(plan_class)
+        if (
+            entry is None
+            or entry[0] != version
+            or (require_costed and not entry[1].costed)
+        ):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(plan_class)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, plan_class: PlanClass, version: int, plan: QueryPlan) -> None:
+        if plan_class in self._entries:
+            self._entries.move_to_end(plan_class)
+        self._entries[plan_class] = (version, plan)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every plan (counters survive; only non-empty drops count
+        as invalidations)."""
+        if self._entries:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            capacity=self.capacity,
+            invalidations=self.invalidations,
+        )
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class Planner:
+    """Produces :class:`QueryPlan` objects for the nine methods.
+
+    Owns the cost estimation previously inlined in the ``*-Opt``
+    methods: the System-R estimate for the regular join block (plus the
+    final sort regular top-k plans cannot avoid, Section 5.2) and the
+    Theorem-1 dynamic programs for the IDGJ/HDGJ stacks — with the
+    calibrator's per-strategy factors applied before choosing."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    @property
+    def calibrator(self) -> CostCalibrator:
+        return self.system.calibrator
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(self, query: TopologyQuery, method) -> PlanClass:
+        """The query's plan class under ``method`` (the cache key)."""
+        return PlanClass(
+            method=method.name,
+            strategies=tuple(method.plan_strategies),
+            entity1=query.entity1,
+            entity2=query.entity2,
+            shape1=self._shape(query.constraint1, query.entity1),
+            shape2=self._shape(query.constraint2, query.entity2),
+            max_length=query.max_length,
+            k_bucket=k_bucket(query.k),
+            ranking=query.ranking,
+        )
+
+    def _shape(self, constraint: Constraint, entity: str) -> Tuple:
+        selectivity = self.system.stats.predicate_selectivity(
+            constraint.to_expression("x"), {"x": entity}
+        )
+        return constraint_structure(constraint) + (selectivity_bucket(selectivity),)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_for(self, method, query: TopologyQuery, with_costs: bool = False) -> QueryPlan:
+        """Build the plan ``method`` should execute for ``query``.
+
+        ``with_costs`` forces cost estimation even for methods that do
+        not price their strategy on the hot path (the EXPLAIN case)."""
+        system = self.system
+        strategies = tuple(method.plan_strategies)
+        pairs_table = getattr(method, "pairs_table", None)
+        use_pruned_store = bool(getattr(method, "use_pruned_store", False))
+        include_pruned = (
+            bool(getattr(method, "include_pruned_checks", False)) or use_pruned_store
+        )
+        cost_based = bool(getattr(method, "cost_based", False))
+        costed = cost_based or bool(getattr(method, "estimates_costs", False)) or with_costs
+
+        alternatives: List[PlanAlternative] = []
+        if costed:
+            et_wanted = tuple(s for s in strategies if s in ET_STRATEGIES)
+            et_costs: Dict[str, float] = {}
+            if et_wanted:
+                et_costs = self.et_stack_costs(
+                    query, use_pruned_store, query.k or DEFAULT_COST_K,
+                    flavors=et_wanted,
+                )
+            for strategy in strategies:
+                if strategy == STRATEGY_REGULAR and pairs_table is not None:
+                    raw: Optional[float] = self.regular_cost(
+                        query, pairs_table, topk=bool(method.is_topk)
+                    )
+                elif strategy in et_costs:
+                    raw = et_costs[strategy]
+                else:
+                    raw = None
+                factor = (
+                    self.calibrator.factor(calibration_key(pairs_table, strategy))
+                    if raw is not None
+                    else 1.0
+                )
+                alternatives.append(PlanAlternative(strategy, raw, factor))
+        else:
+            alternatives = [PlanAlternative(s, None, 1.0) for s in strategies]
+
+        strategy = self._choose(alternatives) if cost_based else strategies[0]
+        return QueryPlan(
+            method=method.name,
+            strategy=strategy,
+            plan_class=self.classify(query, method),
+            alternatives=tuple(alternatives),
+            pairs_table=pairs_table,
+            oriented=system.orientation(query),
+            store_pair=system.store_entity_pair(query),
+            is_topk=bool(method.is_topk),
+            include_pruned_checks=include_pruned,
+            costed=costed,
+            feeds_calibration=cost_based
+            or bool(getattr(method, "estimates_costs", False)),
+        )
+
+    @staticmethod
+    def _choose(alternatives: Sequence[PlanAlternative]) -> str:
+        """Pick the cheapest calibrated alternative, preserving the
+        pre-refactor tie behavior: ties go to the regular plan, and
+        between equal ET flavors IDGJ wins."""
+        by_strategy = {
+            a.strategy: a.calibrated_cost
+            for a in alternatives
+            if a.calibrated_cost is not None
+        }
+        if not by_strategy:
+            return alternatives[0].strategy
+        et = OrderedDict(
+            (s, by_strategy[s]) for s in ET_STRATEGIES if s in by_strategy
+        )
+        if STRATEGY_REGULAR not in by_strategy:
+            if et:
+                return min(et, key=et.get)
+            return alternatives[0].strategy
+        if not et:
+            return STRATEGY_REGULAR
+        best_et = min(et, key=et.get)
+        if et[best_et] < by_strategy[STRATEGY_REGULAR]:
+            return best_et
+        return STRATEGY_REGULAR
+
+    # ------------------------------------------------------------------
+    # Cost estimation (moved here from core/methods/optimized.py)
+    # ------------------------------------------------------------------
+    def stack_parameters(
+        self, query: TopologyQuery, use_pruned_store: bool
+    ) -> Tuple[List[DgjLevel], List[float]]:
+        """DGJ stack statistics (Section 5.4.3): one level per
+        constrained entity table, group cardinalities in score order."""
+        store = self.system.require_store()
+        stats = self.system.stats
+        pair = self.system.store_entity_pair(query)
+        topologies = [
+            t
+            for t in store.topologies.values()
+            if t.entity_pair == pair
+            and not (use_pruned_store and t.tid in store.pruned_tids)
+        ]
+        # Groups arrive in score order; Card_i = the topology's pair
+        # count (one pairs-table row per related pair).
+        topologies.sort(key=lambda t: (-t.scores[query.ranking], -t.tid))
+        cards = [float(t.frequency) for t in topologies]
+
+        levels: List[DgjLevel] = []
+        for entity, constraint in (
+            (query.entity1, query.constraint1),
+            (query.entity2, query.constraint2),
+        ):
+            n = float(stats.row_count(entity))
+            rho = stats.predicate_selectivity(
+                constraint.to_expression("x"), {"x": entity}
+            )
+            levels.append(
+                DgjLevel(
+                    relation_rows=n,
+                    probe_cost=C.INDEX_PROBE_COST,
+                    local_selectivity=max(1e-9, min(1.0, rho)),
+                    join_selectivity=1.0 / max(n, 1.0),
+                )
+            )
+        return levels, cards
+
+    def et_stack_costs(
+        self,
+        query: TopologyQuery,
+        use_pruned_store: bool,
+        k: int,
+        flavors: Sequence[str] = ET_STRATEGIES,
+    ) -> Dict[str, float]:
+        """Theorem-1 expected costs for the requested DGJ flavors (the
+        single-flavor ET methods skip the dynamic program they would
+        discard)."""
+        levels, cards = self.stack_parameters(query, use_pruned_store)
+        costs: Dict[str, float] = {}
+        if STRATEGY_ET_IDGJ in flavors:
+            costs[STRATEGY_ET_IDGJ] = idgj_stack_cost(levels, cards, k)
+        if STRATEGY_ET_HDGJ in flavors:
+            costs[STRATEGY_ET_HDGJ] = hdgj_stack_cost(
+                levels, cards, k, scan_row_cost=C.ROW_COST
+            )
+        return costs
+
+    def regular_cost(
+        self, query: TopologyQuery, pairs_table: str, topk: bool
+    ) -> float:
+        """Cost of the regular join block under the System-R enumerator
+        — for top-k methods the SQL4 block plus the final sort that
+        regular plans cannot avoid (Section 5.2)."""
+        oriented = self.system.orientation(query)
+        col1 = "e1" if oriented else "e2"
+        col2 = "e2" if oriented else "e1"
+        relations = [
+            (query.entity1, "q1"),
+            (query.entity2, "q2"),
+            (pairs_table, "lt"),
+        ]
+        conjuncts = [
+            query.constraint1.to_expression("q1"),
+            query.constraint2.to_expression("q2"),
+            Comparison("=", ColumnRef("q1", "id"), ColumnRef("lt", col1)),
+            Comparison("=", ColumnRef("q2", "id"), ColumnRef("lt", col2)),
+        ]
+        if topk:
+            relations.append(("TopInfo", "t"))
+            conjuncts.append(
+                Comparison("=", ColumnRef("t", "tid"), ColumnRef("lt", "tid"))
+            )
+        block = build_block(relations, conjuncts)
+        optimizer = self.system.engine.planner.optimizer
+        best = optimizer.optimize(block)
+        if topk:
+            return best.cost + C.sort_cost(best.est_rows)
+        return best.cost

@@ -21,17 +21,7 @@ from repro.relational.expressions import (
     Expression,
     Literal,
 )
-
-
-def _sql_quote(value: Any) -> str:
-    if value is None:
-        return "NULL"
-    if isinstance(value, bool):
-        return "TRUE" if value else "FALSE"
-    if isinstance(value, (int, float)):
-        return repr(value)
-    escaped = str(value).replace("'", "''")
-    return f"'{escaped}'"
+from repro.relational.sql.tokens import sql_quote
 
 
 class Constraint:
@@ -56,7 +46,7 @@ class KeywordConstraint(Constraint):
         return Contains(ColumnRef(alias, self.column), Literal(self.keyword))
 
     def to_sql(self, alias: str) -> str:
-        return f"CONTAINS({alias}.{self.column}, {_sql_quote(self.keyword)})"
+        return f"CONTAINS({alias}.{self.column}, {sql_quote(self.keyword)})"
 
 
 @dataclass(frozen=True)
@@ -71,7 +61,7 @@ class AttributeConstraint(Constraint):
         return Comparison(self.op, ColumnRef(alias, self.column), Literal(self.value))
 
     def to_sql(self, alias: str) -> str:
-        return f"{alias}.{self.column} {self.op} {_sql_quote(self.value)}"
+        return f"{alias}.{self.column} {self.op} {sql_quote(self.value)}"
 
 
 @dataclass(frozen=True)

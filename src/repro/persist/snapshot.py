@@ -14,7 +14,9 @@ temp file + ``os.replace``):
 
 ``meta``
     Key/value JSON: format version, engine version, ``max_length``, the
-    built entity pairs, the weak-path rules, bookkeeping counters.
+    built entity pairs, the weak-path rules, the recorded build
+    configuration, the cost-calibration state (learned per-strategy
+    factors, so a restored service keeps them), bookkeeping counters.
 ``base_tables`` + ``base_<n>_<name>``
     The catalog (schema, declared indexes) and rows of every *base*
     relation.  The four derived tables (TopInfo, AllTops, LeftTops,
@@ -131,6 +133,9 @@ class SnapshotInfo:
     # Recorded build() parameters (None for pre-PR-2 snapshots or
     # stores installed via adopt_store without a config).
     build_config: Optional[Dict[str, Any]] = None
+    # Cost-calibration state (repro.core.plan); None for snapshots
+    # written before the plan layer existed.
+    calibration: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +187,9 @@ def _write_meta(conn: sqlite3.Connection, system, state: Dict[str, Any]) -> None
         # How the store was built (worker/partition counts, caps, prune
         # settings) — restored so rebuilds reproduce the configuration.
         "build_config": system.build_config,
+        # Learned per-strategy cost factors (repro.core.plan) — restored
+        # so a cold-started service plans with its calibrated costs.
+        "calibration": system.calibrator.export_state(),
         "saved_at": time.time(),
     }
     conn.executemany(
@@ -347,6 +355,7 @@ def load_system(path):
         include_alltops=meta.get("include_alltops", True),
         build_config=meta.get("build_config"),
     )
+    system.restore_calibration(meta.get("calibration"))
     return system
 
 
@@ -519,6 +528,7 @@ def snapshot_info(path) -> SnapshotInfo:
                 file_bytes=os.path.getsize(target),
                 saved_at=meta.get("saved_at", 0.0),
                 build_config=meta.get("build_config"),
+                calibration=meta.get("calibration"),
             )
     finally:
         conn.close()

@@ -10,7 +10,7 @@ from repro.relational.sql.ast import (
 )
 from repro.relational.sql.parser import parse
 from repro.relational.sql.planner import Engine, Planner, QueryResult
-from repro.relational.sql.tokens import Token, tokenize
+from repro.relational.sql.tokens import Token, sql_quote, tokenize
 
 __all__ = [
     "Engine",
@@ -24,5 +24,6 @@ __all__ = [
     "TableRef",
     "Token",
     "parse",
+    "sql_quote",
     "tokenize",
 ]

@@ -17,6 +17,24 @@ KEYWORDS = {
 SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "+", "-", "*", "/")
 
 
+def sql_quote(value: object) -> str:
+    """Render a Python value as a SQL literal.
+
+    The inverse of this tokenizer's literal handling: embedded single
+    quotes are escaped by doubling (``O'Brien`` -> ``'O''Brien'``), so
+    any value round-trips through :func:`tokenize`.  Shared by every
+    layer that emits SQL text (constraint rendering, the methods'
+    generated statements) — never interpolate raw strings into quotes."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
 @dataclass(frozen=True)
 class Token:
     """One lexical token.

@@ -15,6 +15,11 @@ long-running component:
 * **Latency accounting** — per-method wall-clock statistics for every
   *engine execution* (cache hits excluded, so the numbers describe the
   engine, not the cache), consumed by the benchmark harness.
+* **Plan visibility** — :meth:`explain` returns the engine's chosen
+  :class:`~repro.core.plan.QueryPlan` with every alternative's cost;
+  :meth:`plan_cache_stats` and :meth:`calibration_stats` expose the
+  engine-side plan cache and learned cost factors alongside the result
+  cache's hit/miss counters.
 
 The service is single-threaded, like the engine beneath it.
 """
@@ -23,10 +28,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.engine import BuildReport, TopologySearchSystem
 from repro.core.methods import MethodResult
+from repro.core.plan import PlanCacheStats, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.service.cache import CacheStats, LRUCache
 
@@ -153,6 +159,14 @@ class TopologyService:
         batch are computed once and served from cache afterwards."""
         return [self.query(q, method=method) for q in queries]
 
+    def explain(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> QueryPlan:
+        """The plan :meth:`query` would execute (without executing it),
+        with every alternative's estimated and calibrated cost — render
+        it with :meth:`~repro.core.plan.QueryPlan.display`."""
+        return self.system.explain(query, (method or self.default_method).lower())
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -215,6 +229,15 @@ class TopologyService:
     # ------------------------------------------------------------------
     def cache_stats(self) -> CacheStats:
         return self._cache.stats()
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """The engine-side plan cache's counters (plans are cached per
+        query *class*, results per full query identity)."""
+        return self.system.plan_cache_stats()
+
+    def calibration_stats(self) -> Dict[str, Any]:
+        """Learned per-strategy cost factors and observation counts."""
+        return self.system.calibrator.snapshot()
 
     def latency_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-method engine-execution latency snapshots (cache hits do

@@ -189,15 +189,25 @@ class TestMethodBehaviour:
         large = tiny_system.search(query_large, "fast-top-k-et")
         assert small.work["index_probes"] <= large.work["index_probes"]
 
-    def test_opt_reports_choice(self, tiny_system):
+    def test_opt_reports_structured_plan(self, tiny_system):
         query = TopologyQuery(
             "Protein", "DNA",
             KeywordConstraint("DESC", "human"), NoConstraint(),
             k=5, ranking="freq",
         )
         result = tiny_system.search(query, "fast-top-k-opt")
+        plan = result.plan
+        assert plan is not None
+        assert plan.strategy in ("regular", "et-idgj", "et-hdgj")
+        # All three alternatives were priced; the chosen one is cheapest
+        # by calibrated cost (ties go to the regular plan).
+        costs = {a.strategy: a.calibrated_cost for a in plan.alternatives}
+        assert set(costs) == {"regular", "et-idgj", "et-hdgj"}
+        assert all(c is not None for c in costs.values())
+        assert costs[plan.strategy] == min(costs.values())
+        # The derived free-text label survives for backward compatibility.
         assert result.plan_choice is not None
-        assert "et" in result.plan_choice or "regular" in result.plan_choice
+        assert result.plan_choice.startswith(plan.strategy)
 
     def test_unbuilt_pair_rejected(self, tiny_system):
         from repro.errors import TopologyError
@@ -241,3 +251,100 @@ class TestMethodBehaviour:
             NoConstraint(), k=5,
         )
         assert tiny_system.search(qk, "fast-top-k-et").tids == []
+
+    def test_apostrophe_values_render_safely(self, tiny_system):
+        """Constraint values with embedded quotes must be escaped, not
+        break (or alter) the generated SQL."""
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "o'brien's"),
+            AttributeConstraint("TYPE", "5'-mRNA'"),
+        )
+        assert tiny_system.search(query, "full-top").tids == []
+        assert tiny_system.search(query, "fast-top").tids == []
+        qk = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "it's"), NoConstraint(), k=3,
+        )
+        assert tiny_system.search(qk, "full-top-k").tids == []
+
+
+class TestCalibratedOptQuality:
+    """Satellite: the calibrated planner's choices must be at least as
+    good — measured by *observed* work — as the uncalibrated ones, and
+    calibration must never change answers."""
+
+    @pytest.fixture()
+    def fresh_system(self):
+        from repro.biozon import BiozonConfig, generate
+        from repro.core import TopologySearchSystem
+
+        ds = generate(BiozonConfig.tiny(seed=11))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build([("Protein", "DNA"), ("Protein", "Interaction")], max_length=3)
+        return system
+
+    @staticmethod
+    def _workload():
+        keywords = ["human", "kinase", "binding", "putative", "conserved"]
+        queries = []
+        for i, keyword in enumerate(keywords):
+            queries.append(
+                TopologyQuery(
+                    "Protein", "DNA",
+                    KeywordConstraint("DESC", keyword), NoConstraint(),
+                    k=3 + (i % 3), ranking=("freq", "rare")[i % 2],
+                )
+            )
+        return queries
+
+    @staticmethod
+    def _observed_work(system, query):
+        """Observed work units per strategy, via the direct methods."""
+        from repro.core.methods.et import FastTopKEtMethod
+        from repro.core.plan import work_units
+
+        observed = {}
+        observed["regular"] = work_units(system.search(query, "fast-top-k").work)
+        for flavor in ("idgj", "hdgj"):
+            method = FastTopKEtMethod(system, flavor=flavor)
+            observed[f"et-{flavor}"] = work_units(method.run(query).work)
+        return observed
+
+    def test_calibration_never_hurts_choice_quality(self, fresh_system):
+        system = fresh_system
+        workload = self._workload()
+        before = {
+            id(q): system.explain(q, "fast-top-k-opt").strategy for q in workload
+        }
+        # Execute every strategy once per query: this is the feedback
+        # the calibrator learns from, and the ground truth we score
+        # choices against.
+        observed = {id(q): self._observed_work(system, q) for q in workload}
+        assert system.calibrator.observation_count() > 0
+        system.invalidate_plans()
+        after = {
+            id(q): system.explain(q, "fast-top-k-opt").strategy for q in workload
+        }
+
+        def optimal_choices(choices):
+            return sum(
+                1
+                for q in workload
+                if observed[id(q)][choices[id(q)]] <= min(observed[id(q)].values())
+            )
+
+        assert optimal_choices(after) >= optimal_choices(before)
+
+    def test_all_methods_identical_after_calibration(self, fresh_system):
+        system = fresh_system
+        workload = self._workload()
+        for query in workload:
+            self._observed_work(system, query)  # feed the calibrator
+        system.invalidate_plans()
+        for query in workload:
+            reference = system.search(query, "full-top-k")
+            for method in TOPK_METHODS[1:]:
+                result = system.search(query, method)
+                assert result.tids == reference.tids, method
+                assert result.scores == pytest.approx(reference.scores), method

@@ -1,0 +1,344 @@
+"""The plan layer: plan classes, caching, EXPLAIN, calibration.
+
+Covers :mod:`repro.core.plan` plus its engine/service wiring — plans as
+first-class objects, the query-class cache, ``explain()`` for all nine
+methods, and the observation-driven cost calibrator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALL_METHOD_NAMES,
+    AttributeConstraint,
+    ConjunctionConstraint,
+    CostCalibrator,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+)
+from repro.core.plan import (
+    ET_STRATEGIES,
+    STRATEGY_PER_TOPOLOGY,
+    STRATEGY_REGULAR,
+    PlanCache,
+    constraint_structure,
+    k_bucket,
+    selectivity_bucket,
+    work_units,
+)
+
+EXHAUSTIVE = ("sql", "full-top", "fast-top")
+
+
+def make_query(keyword="human", k=5, ranking="freq"):
+    return TopologyQuery(
+        "Protein", "DNA",
+        KeywordConstraint("DESC", keyword),
+        AttributeConstraint("TYPE", "mRNA"),
+        k=k, ranking=ranking,
+    )
+
+
+class TestPlanClassification:
+    def test_k_buckets_are_powers_of_two(self):
+        assert k_bucket(None) == 0
+        assert [k_bucket(k) for k in (1, 2, 3, 4, 5, 8, 9)] == [1, 2, 4, 4, 8, 8, 16]
+
+    def test_selectivity_buckets_are_orders_of_magnitude(self):
+        assert selectivity_bucket(1.0) == 0
+        assert selectivity_bucket(0.2) == -1
+        assert selectivity_bucket(0.02) == -2
+        assert selectivity_bucket(0.0) == -9  # clamped
+
+    def test_constraint_structure_is_value_free(self):
+        a = constraint_structure(KeywordConstraint("DESC", "kinase"))
+        b = constraint_structure(KeywordConstraint("DESC", "binding"))
+        assert a == b == ("contains", "desc")
+        assert constraint_structure(NoConstraint()) == ("all",)
+        conj = ConjunctionConstraint(
+            (KeywordConstraint("DESC", "x"), AttributeConstraint("TYPE", "y"))
+        )
+        assert constraint_structure(conj) == (
+            "and", ("contains", "desc"), ("cmp", "type", "="),
+        )
+
+    def test_same_shape_queries_share_a_class(self, tiny_system):
+        method = tiny_system.method("fast-top-k-opt")
+        planner = tiny_system.planner
+        # Same keyword, different k within one power-of-two bucket.
+        c1 = planner.classify(make_query(k=5), method)
+        c2 = planner.classify(make_query(k=7), method)
+        assert c1 == c2
+        # Different ranking, k-bucket, or l -> different classes.
+        assert planner.classify(make_query(ranking="rare"), method) != c1
+        assert planner.classify(make_query(k=2), method) != c1
+
+    def test_flavors_get_distinct_classes(self, tiny_system):
+        from repro.core.methods.et import FastTopKEtMethod
+
+        idgj = FastTopKEtMethod(tiny_system, flavor="idgj")
+        hdgj = FastTopKEtMethod(tiny_system, flavor="hdgj")
+        query = make_query()
+        assert (
+            tiny_system.planner.classify(query, idgj)
+            != tiny_system.planner.classify(query, hdgj)
+        )
+
+
+@pytest.fixture()
+def stable_plans(tiny_system):
+    """Pause calibration so its version bumps cannot invalidate plans
+    mid-test (the shared session system accumulates observations)."""
+    tiny_system.calibration_enabled = False
+    tiny_system.invalidate_plans()
+    try:
+        yield tiny_system
+    finally:
+        tiny_system.calibration_enabled = True
+
+
+class TestPlanCacheBehaviour:
+    def test_same_class_traffic_hits_the_cache(self, stable_plans):
+        system = stable_plans
+        before = system.plan_cache_stats()
+        system.search(make_query(k=5), "fast-top-k-opt")
+        system.search(make_query(k=6), "fast-top-k-opt")
+        system.search(make_query(k=7), "fast-top-k-opt")
+        stats = system.plan_cache_stats()
+        assert stats.hits - before.hits >= 2
+
+    def test_cache_hit_skips_planning_work(self, stable_plans):
+        system = stable_plans
+        cold = system.search(make_query(k=5), "fast-top-k-opt")
+        warm = system.search(make_query(k=6), "fast-top-k-opt")
+        assert warm.planning_seconds < cold.planning_seconds
+
+    def test_rebuild_invalidates_plans(self):
+        from repro.biozon import BiozonConfig, generate
+        from repro.core import TopologySearchSystem
+
+        ds = generate(BiozonConfig.tiny(seed=6))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build([("Protein", "DNA")], max_length=3)
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(), k=4,
+        )
+        system.search(query, "fast-top-k-opt")
+        invalidations = system.plan_cache_stats().invalidations
+        system.build([("Protein", "DNA")], max_length=3)
+        system.search(query, "fast-top-k-opt")
+        assert system.plan_cache_stats().invalidations > invalidations
+
+    def test_lru_semantics(self):
+        from repro.core.plan import PlanClass, QueryPlan
+
+        def cls(tag):
+            return PlanClass(
+                method=tag, strategies=("regular",), entity1="A", entity2="B",
+                shape1=("all",), shape2=("all",), max_length=3,
+                k_bucket=0, ranking="freq",
+            )
+
+        def plan(tag):
+            return QueryPlan(
+                method=tag, strategy="regular", plan_class=cls(tag), alternatives=(),
+            )
+
+        cache = PlanCache(capacity=2)
+        cache.put(cls("a"), 0, plan("a"))
+        cache.put(cls("b"), 0, plan("b"))
+        assert cache.get(cls("a"), 0) is not None
+        cache.put(cls("c"), 0, plan("c"))      # evicts "b" (LRU)
+        assert cache.get(cls("b"), 0) is None
+        # A stale calibrator version is a miss, not a hit.
+        assert cache.get(cls("a"), 1) is None
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestExplain:
+    @pytest.mark.parametrize("method", ALL_METHOD_NAMES)
+    def test_explain_works_for_every_method(self, tiny_system, method):
+        query = make_query() if method not in EXHAUSTIVE else TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"),
+            AttributeConstraint("TYPE", "mRNA"),
+        )
+        plan = tiny_system.explain(query, method)
+        assert plan.method == method
+        assert plan.strategy in plan.plan_class.strategies
+        text = plan.display(query)
+        assert method in text
+        assert "operator tree" in text
+        assert plan.costed  # explain always prices what it can
+
+    def test_explain_shows_all_opt_alternatives(self, tiny_system):
+        plan = tiny_system.explain(make_query(), "fast-top-k-opt")
+        strategies = {a.strategy for a in plan.alternatives}
+        assert strategies == {STRATEGY_REGULAR, *ET_STRATEGIES}
+        assert all(a.estimated_cost is not None for a in plan.alternatives)
+        text = plan.display()
+        for s in strategies:
+            assert s in text
+
+    def test_explain_matches_executed_plan(self, tiny_system):
+        query = make_query(keyword="kinase", k=4)
+        explained = tiny_system.explain(query, "fast-top-k-opt")
+        executed = tiny_system.search(query, "fast-top-k-opt").plan
+        assert executed.strategy == explained.strategy
+        assert executed.plan_class == explained.plan_class
+
+    def test_sql_method_plan_is_costless_but_displayable(self, tiny_system):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"),
+            AttributeConstraint("TYPE", "mRNA"),
+        )
+        plan = tiny_system.explain(query, "sql")
+        assert plan.strategy == STRATEGY_PER_TOPOLOGY
+        assert plan.estimated_cost is None
+        assert "ForEach" in plan.display()
+
+
+class TestCostCalibrator:
+    def test_factor_is_geometric_mean_of_ratios(self):
+        calibrator = CostCalibrator()
+        for observed in (200.0, 800.0, 400.0):  # estimates of 100 each
+            calibrator.record("et-idgj", 100.0, observed)
+        # geometric mean of (2, 8, 4) = 4
+        assert calibrator.factor("et-idgj") == pytest.approx(4.0)
+        assert calibrator.factor("regular") == 1.0  # no observations
+
+    def test_factor_needs_minimum_observations(self):
+        calibrator = CostCalibrator()
+        calibrator.record("regular", 100.0, 1000.0)
+        calibrator.record("regular", 100.0, 1000.0)
+        assert calibrator.factor("regular") == 1.0
+        calibrator.record("regular", 100.0, 1000.0)
+        assert calibrator.factor("regular") == pytest.approx(10.0)
+
+    def test_version_bumps_on_drift(self):
+        calibrator = CostCalibrator()
+        v0 = calibrator.version
+        for _ in range(3):
+            calibrator.record("et-hdgj", 100.0, 1000.0)
+        assert calibrator.version > v0
+
+    def test_ignores_degenerate_observations(self):
+        calibrator = CostCalibrator()
+        calibrator.record("regular", 0.0, 10.0)
+        calibrator.record("regular", 10.0, 0.0)
+        assert calibrator.observation_count("regular") == 0
+
+    def test_state_round_trip(self):
+        calibrator = CostCalibrator()
+        for i in range(4):
+            calibrator.record("et-idgj", 100.0, 300.0 + i)
+        restored = CostCalibrator.from_state(calibrator.export_state())
+        assert restored.factor("et-idgj") == pytest.approx(
+            calibrator.factor("et-idgj")
+        )
+        assert restored.version == calibrator.version
+        assert restored.observation_count() == calibrator.observation_count()
+        assert CostCalibrator.from_state(None).observation_count() == 0
+
+    def test_work_units_weight_counters(self):
+        assert work_units({}) == 0.0
+        assert work_units({"rows_scanned": 10}) == pytest.approx(10.0)
+        assert work_units({"index_probes": 5}) == pytest.approx(10.0)
+        assert work_units({"unknown_counter": 99}) == 0.0
+
+
+class TestCalibrationFeedbackLoop:
+    @pytest.fixture()
+    def fresh_system(self):
+        from repro.biozon import BiozonConfig, generate
+        from repro.core import TopologySearchSystem
+
+        ds = generate(BiozonConfig.tiny(seed=12))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build([("Protein", "DNA")], max_length=3)
+        return system
+
+    def test_executions_feed_the_calibrator(self, fresh_system):
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(), k=4,
+        )
+        result = fresh_system.search(query, "fast-top-k-et")
+        assert result.plan.estimated_cost is not None
+        assert result.plan.calibration_key == "LeftTops:et-idgj"
+        assert (
+            fresh_system.calibrator.observation_count("LeftTops:et-idgj") == 1
+        )
+
+    def test_explain_forced_costs_do_not_feed_calibration(self, fresh_system):
+        """A costed plan cached by EXPLAIN for a non-estimating method
+        must not start contributing observations on later executions."""
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(),
+        )
+        plan = fresh_system.explain(query, "fast-top")
+        assert plan.costed and not plan.feeds_calibration
+        fresh_system.search(query, "fast-top")  # reuses the costed plan
+        assert fresh_system.calibrator.observation_count() == 0
+
+    def test_calibration_can_be_disabled(self, fresh_system):
+        fresh_system.calibration_enabled = False
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(), k=4,
+        )
+        fresh_system.search(query, "fast-top-k-et")
+        assert fresh_system.calibrator.observation_count() == 0
+
+    def test_calibration_flips_a_mispriced_choice(self, fresh_system):
+        """Force a large learned penalty onto the strategy the planner
+        would otherwise pick; the next planning round must avoid it."""
+        system = fresh_system
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(), k=4,
+        )
+        plan = system.explain(query, "fast-top-k-opt")
+        chosen = plan.strategy
+        estimated = plan.estimated_cost
+        # Report the chosen strategy as 1000x more expensive than priced.
+        for _ in range(CostCalibrator.MIN_OBSERVATIONS):
+            system.calibrator.record(
+                plan.calibration_key, estimated, estimated * 1000.0
+            )
+        system.invalidate_plans()
+        recalibrated = system.explain(query, "fast-top-k-opt")
+        assert recalibrated.strategy != chosen
+        # Answers are unchanged either way.
+        assert (
+            system.search(query, "fast-top-k-opt").tids
+            == system.search(query, "full-top-k").tids
+        )
+
+
+class TestSqlQuoting:
+    def test_shared_helper_escapes(self):
+        from repro.relational.sql import sql_quote, tokenize
+
+        assert sql_quote("O'Brien") == "'O''Brien'"
+        assert sql_quote(None) == "NULL"
+        assert sql_quote(True) == "TRUE"
+        assert sql_quote(7) == "7"
+        # The escaped literal round-trips through the tokenizer.
+        tokens = tokenize(f"SELECT {sql_quote(chr(39) + 'start')}")
+        assert tokens[1].value == "'start"
+
+    def test_entity_pair_filter_quotes_values(self, tiny_system):
+        method = tiny_system.method("fast-top")
+        query = TopologyQuery(
+            "Protein", "DNA",
+            KeywordConstraint("DESC", "human"), NoConstraint(),
+        )
+        rendered = method._entity_pair_filter(query, "T")
+        assert rendered == "T.ES1 = 'Protein' AND T.ES2 = 'DNA'"

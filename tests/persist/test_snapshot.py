@@ -117,6 +117,60 @@ class TestRoundTrip:
         assert system.build_generation == generation + 1
 
 
+class TestCalibrationRoundTrip:
+    """Learned cost factors must survive a save/load cycle."""
+
+    @pytest.fixture()
+    def calibrated_system(self):
+        ds = generate(BiozonConfig.tiny(seed=21))
+        system = TopologySearchSystem(ds.database, ds.graph())
+        system.build([("Protein", "DNA")], max_length=3)
+        query = query_for("fast-top-k-et")
+        for _ in range(4):  # past MIN_OBSERVATIONS, factor locked in
+            system.search(query, "fast-top-k-et")
+        assert system.calibrator.factor("LeftTops:et-idgj") != 1.0
+        return system
+
+    def test_factors_survive_snapshot(self, calibrated_system, tmp_path):
+        path = tmp_path / "calibrated.topo"
+        save_system(calibrated_system, path)
+        restored = load_system(path)
+        for key in ("LeftTops:et-idgj", "LeftTops:regular", "LeftTops:et-hdgj"):
+            assert restored.calibrator.factor(key) == pytest.approx(
+                calibrated_system.calibrator.factor(key)
+            )
+        assert (
+            restored.calibrator.observation_count()
+            == calibrated_system.calibrator.observation_count()
+        )
+        # The restored planner applies the learned factors.
+        query = query_for("fast-top-k-opt")
+        before = calibrated_system.explain(query, "fast-top-k-opt")
+        after = restored.explain(query, "fast-top-k-opt")
+        assert after.strategy == before.strategy
+        assert after.calibrated_cost == pytest.approx(before.calibrated_cost)
+
+    def test_snapshot_info_reports_calibration(self, calibrated_system, tmp_path):
+        path = tmp_path / "calibrated.topo"
+        save_system(calibrated_system, path)
+        info = snapshot_info(path)
+        assert info.calibration is not None
+        assert info.calibration["strategies"]["LeftTops:et-idgj"]["count"] >= 4
+
+    def test_pre_plan_layer_snapshot_loads_clean(self, calibrated_system, tmp_path):
+        """A snapshot without a calibration entry (older writer) still
+        restores — with a fresh calibrator."""
+        path = tmp_path / "legacy.topo"
+        save_system(calibrated_system, path)
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM meta WHERE key = 'calibration'")
+        conn.commit()
+        conn.close()
+        restored = load_system(path)
+        assert restored.calibrator.observation_count() == 0
+        assert restored.calibrator.factor("LeftTops:et-idgj") == 1.0
+
+
 class TestSnapshotFile:
     def test_snapshot_info(self, snapshot_path, tiny_system):
         info = snapshot_info(snapshot_path)

@@ -209,3 +209,37 @@ class TestServicePersistence:
         assert restored.query(query).tids == expected
         assert restored.query(query).tids == expected
         assert restored.cache_stats().hits == 1
+
+
+class TestPlanVisibility:
+    def test_explain_returns_plan_without_executing(self, tiny_system):
+        service = TopologyService(tiny_system)
+        plan = service.explain(make_query())
+        assert plan.method == "fast-top-k-opt"
+        assert plan.has_costs
+        assert "operator tree" in plan.display()
+        # explain() must not populate the result cache.
+        assert service.cache_stats().size == 0
+
+    def test_explain_respects_method_argument(self, tiny_system):
+        service = TopologyService(tiny_system)
+        plan = service.explain(make_query(), method="Fast-Top-K-ET")
+        assert plan.method == "fast-top-k-et"
+        assert plan.strategy == "et-idgj"
+
+    def test_plan_cache_stats_exposed(self, tiny_system):
+        service = TopologyService(tiny_system)
+        tiny_system.invalidate_plans()
+        service.query(make_query(k=5))
+        service.query(make_query(k=6))  # same plan class, new result key
+        stats = service.plan_cache_stats()
+        assert stats.requests >= 2
+        assert stats.capacity > 0
+        assert service.cache_stats().misses >= 2  # distinct result keys
+
+    def test_calibration_stats_exposed(self, mutable_system):
+        service = TopologyService(mutable_system)
+        service.query(make_query())
+        stats = service.calibration_stats()
+        assert "strategies" in stats and "version" in stats
+        assert sum(s["count"] for s in stats["strategies"].values()) >= 1
