@@ -67,7 +67,18 @@ class BuildReport:
 
 
 class TopologySearchSystem:
-    """Offline computation plus online query dispatch."""
+    """Offline computation plus online query dispatch.
+
+    Concurrency contract: :meth:`search`, :meth:`explain` and the plan
+    layer only *read* the built store and base tables, and every shared
+    mutable hot-path structure they touch — the plan cache, the cost
+    calibrator, the per-thread executor counters, the lazily refreshed
+    statistics — is thread-safe, so any number of threads may query one
+    system concurrently.  :meth:`build` and :meth:`adopt_store` are
+    exclusive writers: they replace the materialized tables in place and
+    must not overlap with queries (that fencing is the job of
+    :class:`~repro.service.server.TopologyServer`, which hot-swaps a
+    freshly built clone instead of mutating the serving generation)."""
 
     def __init__(
         self,
@@ -210,6 +221,29 @@ class TopologySearchSystem:
 
         return load_system(path)
 
+    def clone_base(self) -> "TopologySearchSystem":
+        """A new system over a *copy* of the base relations.
+
+        The derived tables (TopInfo, AllTops, LeftTops, ExcpTops) are
+        excluded — the clone is meant to run its own offline phase — and
+        the clone shares no mutable state with this system: its own
+        database (tables, indexes, executor counters), its own data
+        graph rebuilt from the copied relations, its own statistics,
+        plan cache and calibrator.  That independence is what makes a
+        hot rebuild possible: :class:`~repro.service.server.TopologyServer`
+        builds the next generation on a clone while readers keep
+        querying this one, then swaps.
+
+        Row tuples are shared (they are immutable); only the containers
+        are copied.  Safe to call while other threads run queries — it
+        only reads the base tables, which queries never mutate."""
+        from repro.persist.snapshot import DERIVED_TABLES
+
+        database = Database(self.database.name)
+        for dump in self.database.dump_tables(exclude=DERIVED_TABLES):
+            database.restore_table(dump)
+        return TopologySearchSystem(database, weak_rules=self.weak_rules)
+
     def adopt_store(
         self,
         store: TopologyStore,
@@ -276,13 +310,19 @@ class TopologySearchSystem:
     # Method dispatch
     # ------------------------------------------------------------------
     def method(self, name: str):
-        """Get (and cache) a method instance by its paper name."""
+        """Get (and cache) a method instance by its paper name.
+
+        Safe under concurrent callers: method objects are stateless
+        (they hold only the system handle), so if two threads race the
+        first lookup both build an equivalent instance and ``setdefault``
+        keeps exactly one."""
         from repro.core.methods import create_method
 
         key = name.lower()
-        if key not in self._methods:
-            self._methods[key] = create_method(key, self)
-        return self._methods[key]
+        instance = self._methods.get(key)
+        if instance is None:
+            instance = self._methods.setdefault(key, create_method(key, self))
+        return instance
 
     def search(self, query: TopologyQuery, method: str = "fast-top-k-opt"):
         """Run one query with the chosen method."""
@@ -300,13 +340,18 @@ class TopologySearchSystem:
         current build and calibration state."""
         self._check_plan_generation()
         plan_class = self.planner.classify(query, method)
-        cached = self.plan_cache.get(
-            plan_class, self.calibrator.version, require_costed=with_costs
-        )
+        # One version read serves both the lookup and the store: if the
+        # calibrator drifts while we plan, re-reading at put() would tag
+        # a stale-factored plan as current and the cache's
+        # evict-on-version-mismatch could never catch it.  Tagged with
+        # the pre-planning version, such a plan is simply evicted and
+        # re-planned on the next lookup.
+        version = self.calibrator.version
+        cached = self.plan_cache.get(plan_class, version, require_costed=with_costs)
         if cached is not None:
             return cached
         plan = self.planner.plan_for(method, query, with_costs=with_costs)
-        self.plan_cache.put(plan_class, self.calibrator.version, plan)
+        self.plan_cache.put(plan_class, version, plan)
         return plan
 
     def explain(self, query: TopologyQuery, method: str = "fast-top-k-opt") -> QueryPlan:

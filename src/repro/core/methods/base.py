@@ -32,7 +32,11 @@ class MethodResult:
     method executed; ``planning_seconds`` is the share of
     ``elapsed_seconds`` spent obtaining it (near zero on a plan-cache
     hit).  ``plan_choice`` derives the old free-text label from the
-    plan, kept for backward compatibility.
+    plan, kept for backward compatibility.  ``generation`` is stamped by
+    :class:`~repro.service.server.TopologyServer` with the store
+    generation that produced the answer (``None`` when the result came
+    straight from the engine) — under hot rebuilds it tells which
+    snapshot of the data a cached or in-flight answer reflects.
     """
 
     method: str
@@ -43,6 +47,7 @@ class MethodResult:
     work: Dict[str, int] = field(default_factory=dict)
     plan: Optional[QueryPlan] = None
     planning_seconds: float = 0.0
+    generation: Optional[int] = None
 
     @property
     def plan_choice(self) -> Optional[str]:

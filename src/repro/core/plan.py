@@ -36,6 +36,7 @@ instead of a side effect:
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -348,10 +349,19 @@ class CostCalibrator:
     def __init__(self) -> None:
         self._fits: Dict[str, _StrategyFit] = {}
         self.version = 0
+        # record() is a read-modify-write over the fit aggregates and
+        # the version; every concurrent engine execution feeds it, so
+        # the whole fold happens under one lock (reads take it too — a
+        # torn count/sum pair would skew the geometric mean).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def factor(self, strategy: str) -> float:
         """Scale factor for a strategy (1.0 until enough feedback)."""
+        with self._lock:
+            return self._factor_locked(strategy)
+
+    def _factor_locked(self, strategy: str) -> float:
         fit = self._fits.get(strategy)
         if fit is None or fit.count < self.MIN_OBSERVATIONS:
             return 1.0
@@ -363,53 +373,58 @@ class CostCalibrator:
         """Fold one (estimated, observed) pair into the strategy's fit."""
         if estimated <= 0.0 or observed <= 0.0:
             return
-        fit = self._fits.setdefault(strategy, _StrategyFit())
-        fit.count += 1
-        ratio = math.log(observed / estimated)
-        fit.sum_log_ratio += max(-self._LOG_CLAMP, min(self._LOG_CLAMP, ratio))
-        current = self.factor(strategy)
-        drift = current / fit.last_applied_factor
-        if fit.count >= self.MIN_OBSERVATIONS and (
-            drift > self.DRIFT_RATIO or drift < 1.0 / self.DRIFT_RATIO
-        ):
-            fit.last_applied_factor = current
-            self.version += 1
+        with self._lock:
+            fit = self._fits.setdefault(strategy, _StrategyFit())
+            fit.count += 1
+            ratio = math.log(observed / estimated)
+            fit.sum_log_ratio += max(-self._LOG_CLAMP, min(self._LOG_CLAMP, ratio))
+            current = self._factor_locked(strategy)
+            drift = current / fit.last_applied_factor
+            if fit.count >= self.MIN_OBSERVATIONS and (
+                drift > self.DRIFT_RATIO or drift < 1.0 / self.DRIFT_RATIO
+            ):
+                fit.last_applied_factor = current
+                self.version += 1
 
     def observation_count(self, strategy: Optional[str] = None) -> int:
-        if strategy is not None:
-            fit = self._fits.get(strategy)
-            return fit.count if fit else 0
-        return sum(fit.count for fit in self._fits.values())
+        with self._lock:
+            if strategy is not None:
+                fit = self._fits.get(strategy)
+                return fit.count if fit else 0
+            return sum(fit.count for fit in self._fits.values())
 
     def reset(self) -> None:
-        self._fits.clear()
-        self.version += 1
+        with self._lock:
+            self._fits.clear()
+            self.version += 1
 
     # ------------------------------------------------------------------
     # Introspection + persistence (repro.persist stores export_state()
     # in the snapshot meta so a restored service keeps learned factors).
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "version": self.version,
-            "strategies": {
-                name: {"count": fit.count, "factor": self.factor(name)}
-                for name, fit in sorted(self._fits.items())
-            },
-        }
+        with self._lock:
+            return {
+                "version": self.version,
+                "strategies": {
+                    name: {"count": fit.count, "factor": self._factor_locked(name)}
+                    for name, fit in sorted(self._fits.items())
+                },
+            }
 
     def export_state(self) -> Dict[str, Any]:
-        return {
-            "version": self.version,
-            "strategies": {
-                name: {
-                    "count": fit.count,
-                    "sum_log_ratio": fit.sum_log_ratio,
-                    "last_applied_factor": fit.last_applied_factor,
-                }
-                for name, fit in sorted(self._fits.items())
-            },
-        }
+        with self._lock:
+            return {
+                "version": self.version,
+                "strategies": {
+                    name: {
+                        "count": fit.count,
+                        "sum_log_ratio": fit.sum_log_ratio,
+                        "last_applied_factor": fit.last_applied_factor,
+                    }
+                    for name, fit in sorted(self._fits.items())
+                },
+            }
 
     @classmethod
     def from_state(cls, state: Optional[Dict[str, Any]]) -> "CostCalibrator":
@@ -452,15 +467,23 @@ class PlanCacheStats:
 class PlanCache:
     """LRU of ``PlanClass -> QueryPlan`` with calibrator versioning.
 
-    An entry made under an older calibrator version is treated as a
-    miss (its calibrated costs — and possibly its choice — are stale)
-    and is replaced by the caller's fresh plan."""
+    An entry made under an older calibrator version is a miss (its
+    calibrated costs — and possibly its choice — are stale) and is
+    *evicted on discovery* — a dead entry must not keep occupying LRU
+    capacity, where it could push out plans that are still live — and
+    counted as an invalidation.  The caller re-plans and ``put``\\ s the
+    replacement.
+
+    Thread-safe: one internal lock covers every entry/counter mutation,
+    so concurrent planners never corrupt the recency order or lose
+    counter updates."""
 
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 1:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[PlanClass, Tuple[int, QueryPlan]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -472,46 +495,53 @@ class PlanCache:
         require_costed: bool = False,
     ) -> Optional[QueryPlan]:
         """The cached plan, or ``None``.  An entry from an older
-        calibrator version — or an uncosted one when the caller needs
-        costs (EXPLAIN) — counts as a miss: the caller re-plans in
-        full, so the counters must say so."""
-        entry = self._entries.get(plan_class)
-        if (
-            entry is None
-            or entry[0] != version
-            or (require_costed and not entry[1].costed)
-        ):
-            self.misses += 1
-            return None
-        self._entries.move_to_end(plan_class)
-        self.hits += 1
-        return entry[1]
+        calibrator version is evicted (and ``invalidations`` counted)
+        before reporting the miss.  An uncosted entry when the caller
+        needs costs (EXPLAIN) also misses, but stays resident: it is
+        still a perfectly good hot-path plan, and the caller's costed
+        replacement will overwrite it."""
+        with self._lock:
+            entry = self._entries.get(plan_class)
+            if entry is not None and entry[0] != version:
+                del self._entries[plan_class]
+                self.invalidations += 1
+                entry = None
+            if entry is None or (require_costed and not entry[1].costed):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(plan_class)
+            self.hits += 1
+            return entry[1]
 
     def put(self, plan_class: PlanClass, version: int, plan: QueryPlan) -> None:
-        if plan_class in self._entries:
-            self._entries.move_to_end(plan_class)
-        self._entries[plan_class] = (version, plan)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if plan_class in self._entries:
+                self._entries.move_to_end(plan_class)
+            self._entries[plan_class] = (version, plan)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every plan (counters survive; only non-empty drops count
         as invalidations)."""
-        if self._entries:
-            self._entries.clear()
-            self.invalidations += 1
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+                self.invalidations += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> PlanCacheStats:
-        return PlanCacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._entries),
-            capacity=self.capacity,
-            invalidations=self.invalidations,
-        )
+        with self._lock:
+            return PlanCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._entries),
+                capacity=self.capacity,
+                invalidations=self.invalidations,
+            )
 
 
 # ----------------------------------------------------------------------

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CatalogError
 from repro.relational.schema import TableSchema
@@ -17,6 +18,12 @@ class ExecStats:
     The cost model and the benchmarks both use these: wall-clock time in
     pure Python is noisy, while "rows scanned + index probes" tracks the
     same quantities the paper's cost model estimates.
+
+    One instance is only ever written by one thread: the catalog hands
+    each thread its own instance (see :attr:`Database.stats`), so the
+    per-row ``+= 1`` hot path needs no lock and a before/after
+    :meth:`snapshot` diff attributes work to exactly the query that ran
+    on that thread.
     """
 
     rows_scanned: int = 0
@@ -76,7 +83,70 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: Dict[str, Table] = {}
-        self.stats = ExecStats()
+        # Executor counters are kept per thread: a query plans and
+        # executes entirely on one thread, so handing every thread its
+        # own ExecStats keeps the per-row increments lock-free *and*
+        # keeps per-query before/after diffs exact when many queries run
+        # concurrently (a process-wide counter set would interleave
+        # them).  ``stats_totals()`` aggregates across threads; buckets
+        # of dead threads are folded into ``_stats_retired`` (on the
+        # next registration) so thread-per-request callers don't grow
+        # the bucket list without bound — and no completed work is ever
+        # dropped from the totals.
+        self._stats_local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._stats_buckets: List[Tuple[threading.Thread, ExecStats]] = []
+        self._stats_retired = ExecStats()
+
+    @property
+    def stats(self) -> ExecStats:
+        """This thread's executor counters (created on first use)."""
+        stats = getattr(self._stats_local, "stats", None)
+        if stats is None:
+            stats = ExecStats()
+            self._stats_local.stats = stats
+            with self._stats_lock:
+                self._retire_dead_locked()
+                self._stats_buckets.append((threading.current_thread(), stats))
+        return stats
+
+    def _retire_dead_locked(self) -> None:
+        """Fold buckets of finished threads into the retired totals.
+        A dead thread can no longer increment, so the fold is exact."""
+        live: List[Tuple[threading.Thread, ExecStats]] = []
+        for thread, bucket in self._stats_buckets:
+            if thread.is_alive():
+                live.append((thread, bucket))
+            else:
+                for key, value in bucket.snapshot().items():
+                    setattr(
+                        self._stats_retired,
+                        key,
+                        getattr(self._stats_retired, key) + value,
+                    )
+        self._stats_buckets = live
+
+    def stats_totals(self) -> Dict[str, int]:
+        """Executor counters summed over every thread that has ever run
+        queries against this database (the server-wide view)."""
+        with self._stats_lock:
+            totals = self._stats_retired.snapshot()
+            buckets = [bucket for _, bucket in self._stats_buckets]
+        for bucket in buckets:
+            for key, value in bucket.snapshot().items():
+                totals[key] += value
+        return totals
+
+    def reset_all_stats(self) -> None:
+        """Zero every thread's counters (and the retired totals).  Not
+        safe against concurrent in-flight executions (a racing increment
+        may survive); meant for benchmark/test checkpoints on a quiet
+        database."""
+        with self._stats_lock:
+            self._stats_retired.reset()
+            buckets = [bucket for _, bucket in self._stats_buckets]
+        for bucket in buckets:
+            bucket.reset()
 
     def create_table(self, schema: TableSchema) -> Table:
         key = schema.name.lower()

@@ -1,20 +1,45 @@
-"""Online query service: cached, batched, instrumented dispatch.
+"""Online query serving: cached, batched, instrumented — and concurrent.
 
->>> from repro.service import TopologyService
->>> service = TopologyService.from_snapshot("biozon.topo")
->>> result = service.query(query)            # engine execution
->>> result = service.query(query)            # LRU cache hit
->>> service.cache_stats().hit_rate
-0.5
+Two front ends share the same thread-safe machinery:
+
+:class:`TopologyService`
+    The single-caller facade: LRU result cache, batching, latency
+    accounting, in-place rebuild.
+
+:class:`TopologyServer`
+    The concurrent serving layer: a reader–writer lease around a shared
+    engine, generation hot-swap rebuilds (traffic keeps flowing while
+    the next generation builds on a clone), single-flight deduplication
+    of identical concurrent queries, and plan-class-grouped parallel
+    ``query_many`` over thread or replica-process pools.
+
+>>> from repro.service import TopologyServer
+>>> server = TopologyServer.from_snapshot("biozon.topo")
+>>> result = server.query(query)             # engine execution
+>>> result = server.query(query)             # LRU cache hit
+>>> server.rebuild()                         # hot swap: no downtime
+>>> server.stats().generation
+2
 """
 
-from repro.service.cache import CacheStats, LRUCache
-from repro.service.facade import DEFAULT_METHOD, LatencyStats, TopologyService
+from repro.service.cache import MISSING, CacheStats, LRUCache
+from repro.service.facade import (
+    DEFAULT_METHOD,
+    LatencyStats,
+    TopologyService,
+    resolve_rebuild_config,
+)
+from repro.service.server import ReadWriteLock, ServerStats, TopologyServer
 
 __all__ = [
     "CacheStats",
     "DEFAULT_METHOD",
     "LRUCache",
     "LatencyStats",
+    "MISSING",
+    "ReadWriteLock",
+    "ServerStats",
+    "TopologyServer",
     "TopologyService",
+    "resolve_rebuild_config",
 ]

@@ -21,12 +21,20 @@ long-running component:
   engine-side plan cache and learned cost factors alongside the result
   cache's hit/miss counters.
 
-The service is single-threaded, like the engine beneath it.
+The pieces the service shares with the engine — the result cache, the
+plan cache, the cost calibrator, the executor counters — are all
+thread-safe, so concurrent callers get correct answers and exact
+counters.  What this facade does *not* provide is request coordination:
+no single-flight deduplication, no reader/writer fencing around
+:meth:`rebuild`.  For a shared engine under concurrent traffic use
+:class:`~repro.service.server.TopologyServer`, which layers exactly
+that on top.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,10 +42,54 @@ from repro.core.engine import BuildReport, TopologySearchSystem
 from repro.core.methods import MethodResult
 from repro.core.plan import PlanCacheStats, QueryPlan
 from repro.core.query import TopologyQuery
-from repro.service.cache import CacheStats, LRUCache
+from repro.service.cache import MISSING, CacheStats, LRUCache
 
 DEFAULT_METHOD = "fast-top-k-opt"
 LATENCY_SAMPLE_WINDOW = 512
+
+
+def resolve_rebuild_config(
+    system: TopologySearchSystem,
+    entity_pairs: Optional[Sequence[Tuple[str, str]]],
+    build_kwargs: Dict[str, Any],
+) -> Tuple[List[Tuple[str, str]], Dict[str, Any]]:
+    """The ``(pairs, kwargs)`` a rebuild of ``system`` should use.
+
+    Without ``entity_pairs`` the previously built pairs are reused, and
+    without an explicit ``max_length`` the previous one is kept (the
+    common "refresh after bulk update" case, Section 3.2) — otherwise a
+    system built at l=4 would silently shrink to the ``build()`` default
+    and reject all existing traffic.
+
+    The rest of the previous build's recorded configuration — parallel
+    worker/partition counts, caps, prune settings — is reused the same
+    way (snapshots persist it, so this also holds for snapshot-restored
+    systems); any explicit keyword wins.  Shared by
+    :meth:`TopologyService.rebuild` and the concurrent
+    :meth:`~repro.service.server.TopologyServer.rebuild`, which must
+    agree on what "rebuild like before" means."""
+    pairs = list(entity_pairs if entity_pairs is not None else system.built_pairs)
+    kwargs = dict(build_kwargs)
+    if "max_length" not in kwargs and system.max_length is not None:
+        kwargs["max_length"] = system.max_length
+    previous = system.build_config or {}
+    carried = [
+        "prune",
+        "prune_threshold",
+        "combination_cap",
+        "per_pair_path_limit",
+        "parallel",
+    ]
+    # The recorded partition count was resolved for the recorded worker
+    # count; carrying it under an explicitly different ``parallel``
+    # would starve (or over-chop) the new pool, so in that case let the
+    # build re-derive its default.
+    if "parallel" not in kwargs:
+        carried.append("partitions")
+    for key in carried:
+        if key not in kwargs and previous.get(key) is not None:
+            kwargs[key] = previous[key]
+    return pairs, kwargs
 
 
 @dataclass
@@ -45,7 +97,10 @@ class LatencyStats:
     """Running wall-clock statistics for one method's executions.
 
     Keeps exact count/total/min/max plus a bounded window of the most
-    recent samples for percentile estimates."""
+    recent samples for percentile estimates.  :meth:`record` and the
+    window reads hold an internal lock: many threads record into one
+    instance, and ``count``/``total_seconds`` are read-modify-write
+    updates that would lose increments unguarded."""
 
     method: str
     count: int = 0
@@ -54,37 +109,53 @@ class LatencyStats:
     max_seconds: float = 0.0
     _window: List[float] = field(default_factory=list, repr=False)
     _cursor: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total_seconds += seconds
-        self.min_seconds = min(self.min_seconds, seconds)
-        self.max_seconds = max(self.max_seconds, seconds)
-        if len(self._window) < LATENCY_SAMPLE_WINDOW:
-            self._window.append(seconds)
-        else:  # ring buffer over the most recent samples
-            self._window[self._cursor] = seconds
-            self._cursor = (self._cursor + 1) % LATENCY_SAMPLE_WINDOW
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+            self.min_seconds = min(self.min_seconds, seconds)
+            self.max_seconds = max(self.max_seconds, seconds)
+            if len(self._window) < LATENCY_SAMPLE_WINDOW:
+                self._window.append(seconds)
+            else:  # ring buffer over the most recent samples
+                self._window[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % LATENCY_SAMPLE_WINDOW
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Windowed percentile (q in [0, 100]) over recent samples."""
-        if not self._window:
+        """Windowed nearest-rank percentile (q in [0, 100]) over recent
+        samples: the smallest sample with at least q% of the window at
+        or below it.  Computed as rank ``ceil(q/100 * n)`` (1-indexed,
+        clamped to [1, n]) — an explicit rank, not ``int(round(...))``,
+        whose banker's rounding picked the off-by-one rank for p50 of
+        an even-sized window (e.g. index 2 of 4 samples instead of 1)."""
+        with self._lock:
+            window = list(self._window)
+        if not window:
             return 0.0
-        ordered = sorted(self._window)
-        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
+        ordered = sorted(window)
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[min(len(ordered), max(1, rank)) - 1]
 
     def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            count = self.count
+            total = self.total_seconds
+            minimum = self.min_seconds
+            maximum = self.max_seconds
         return {
-            "count": self.count,
-            "total_seconds": self.total_seconds,
-            "mean_seconds": self.mean_seconds,
-            "min_seconds": 0.0 if self.count == 0 else self.min_seconds,
-            "max_seconds": self.max_seconds,
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+            "min_seconds": 0.0 if count == 0 else minimum,
+            "max_seconds": maximum,
             "p50_seconds": self.percentile(50),
             "p95_seconds": self.percentile(95),
         }
@@ -140,9 +211,9 @@ class TopologyService:
         name = (method or self.default_method).lower()
         self._check_generation()
         key = (name, query)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        cached = self._cache.get(key, MISSING)
+        if cached is not MISSING:  # any cached value is a hit, even a
+            return cached          # falsy/empty result
         result = self.system.search(query, method=name)
         self._latency.setdefault(name, LatencyStats(name)).record(
             result.elapsed_seconds
@@ -175,42 +246,22 @@ class TopologyService:
         entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
         **build_kwargs,
     ) -> BuildReport:
-        """Re-run the offline phase and invalidate the cache.
+        """Re-run the offline phase in place and invalidate the cache.
 
-        Without ``entity_pairs`` the previously built pairs are reused,
-        and without an explicit ``max_length`` the previous one is kept
-        (the common "refresh after bulk update" case, Section 3.2) —
-        otherwise a system built at l=4 would silently shrink to the
-        ``build()`` default and reject all existing traffic.
-
-        The rest of the previous build's recorded configuration —
-        parallel worker/partition counts, caps, prune settings — is
-        reused the same way (snapshots persist it, so this also holds
-        for snapshot-restored services); any explicit keyword wins.
-        Cache invalidation is untouched by how the build ran: ``build()``
+        The previous build's configuration is reused unless overridden —
+        see :func:`resolve_rebuild_config` for the exact rules.  Cache
+        invalidation is untouched by how the build ran: ``build()``
         bumps ``build_generation`` for serial and parallel builds alike,
-        and the generation check below drops the stale cache."""
-        pairs = entity_pairs if entity_pairs is not None else self.system.built_pairs
-        if "max_length" not in build_kwargs and self.system.max_length is not None:
-            build_kwargs["max_length"] = self.system.max_length
-        previous = self.system.build_config or {}
-        carried = [
-            "prune",
-            "prune_threshold",
-            "combination_cap",
-            "per_pair_path_limit",
-            "parallel",
-        ]
-        # The recorded partition count was resolved for the recorded
-        # worker count; carrying it under an explicitly different
-        # ``parallel`` would starve (or over-chop) the new pool, so in
-        # that case let the build re-derive its default.
-        if "parallel" not in build_kwargs:
-            carried.append("partitions")
-        for key in carried:
-            if key not in build_kwargs and previous.get(key) is not None:
-                build_kwargs[key] = previous[key]
-        report = self.system.build(list(pairs), **build_kwargs)
+        and the generation check below drops the stale cache.
+
+        This rebuilds the *live* system in place — queries racing it can
+        see half-built state.  :class:`~repro.service.server.TopologyServer`
+        offers the concurrent-safe variant: it builds a new generation
+        on a cloned base and hot-swaps it in."""
+        pairs, build_kwargs = resolve_rebuild_config(
+            self.system, entity_pairs, build_kwargs
+        )
+        report = self.system.build(pairs, **build_kwargs)
         self._check_generation()  # drops the now-stale cache
         return report
 

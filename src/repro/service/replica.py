@@ -1,0 +1,167 @@
+"""Warm replica processes for CPU-parallel query fan-out.
+
+On a stock (GIL) interpreter, threads interleave pure-Python engine
+executions instead of running them in parallel — a thread pool gives
+concurrency (overlap, fairness, single-flight) but not *speedup*.  This
+module supplies the speedup path used by
+``TopologyServer.query_many(mode="process")``: a pool of worker
+processes, each holding its own full replica of the serving generation,
+restored once per worker from a snapshot written at pool start.
+
+The economics mirror :mod:`repro.parallel` (the offline-phase pool):
+pay a one-time per-worker cost — process start plus snapshot restore —
+then dispatch cheap work items.  A work item is one plan-class-grouped
+chunk of a batch; the reply carries full
+:class:`~repro.core.methods.MethodResult` objects (queries, results and
+plans all pickle cleanly: they are frozen/plain dataclasses over
+builtins).
+
+Replicas are *read-only copies*: they never see the parent's caches or
+calibrator, and a generation hot-swap on the parent makes the pool
+stale — ``TopologyServer`` tags the pool with the generation it was
+built from and replaces it after a swap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.methods import MethodResult
+from repro.core.query import TopologyQuery
+from repro.errors import TopologyError
+
+# Per-process replica installed by the pool initializer.  Module-level
+# global: multiprocessing gives every worker its own module instance.
+_REPLICA = None
+
+
+def _init_replica(snapshot_path: str) -> None:
+    """Pool initializer: restore this worker's private replica."""
+    global _REPLICA
+    from repro.persist import load_system
+
+    _REPLICA = load_system(snapshot_path)
+
+
+def _run_chunk(
+    chunk: Tuple[str, Sequence[Tuple[int, TopologyQuery]]]
+) -> List[Tuple[int, MethodResult]]:
+    """Execute one (method, [(batch index, query), ...]) chunk against
+    this worker's replica, preserving the indices for reassembly."""
+    if _REPLICA is None:  # pragma: no cover - initializer always ran
+        raise TopologyError("replica worker used before initialization")
+    method, items = chunk
+    return [(index, _REPLICA.search(query, method=method)) for index, query in items]
+
+
+def _spawn_safe_main() -> bool:
+    """Whether ``spawn`` children can bootstrap here.
+
+    Spawned children re-import ``__main__`` when it came from a file;
+    if that "file" does not exist on disk (a stdin script, a frozen
+    shell), every worker crashes on import and ``multiprocessing.Pool``
+    respawns them forever — the pool hangs instead of failing.  A
+    file-less ``__main__`` (``python -c``, an interactive REPL,
+    embedded interpreters) is fine: the bootstrap skips the re-import."""
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    return path is None or os.path.exists(path)
+
+
+def _pick_start_method(requested: Optional[str]) -> str:
+    """``spawn`` where it can bootstrap, else ``fork``; requests win.
+
+    The pool is started from inside a deliberately multi-threaded
+    server: forking while query threads hold arbitrary locks (the
+    import lock included — the engine lazily imports on its hot path)
+    can hand a child a lock no thread will ever release, deadlocking
+    its initializer.  ``spawn`` starts clean children that restore the
+    replica from the snapshot file — a one-time cost per worker on a
+    *warm* pool — so it is the default whenever the interpreter's
+    ``__main__`` is spawn-bootstrappable (see :func:`_spawn_safe_main`);
+    otherwise ``fork`` is the only working option and the caller should
+    keep the server quiet while the pool starts."""
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise TopologyError(
+                f"start method {requested!r} not available; choose from {available}"
+            )
+        return requested
+    if "spawn" in available and _spawn_safe_main():
+        return "spawn"
+    if "fork" in available:
+        return "fork"
+    raise TopologyError(
+        "process mode needs a spawn-bootstrappable __main__ "
+        "(run from an importable script) on this platform"
+    )
+
+
+class ReplicaPool:
+    """A warm pool of replica processes serving one generation.
+
+    Construction snapshots ``system`` to a temporary file and starts
+    ``workers`` processes, each restoring the snapshot into a private
+    replica.  :meth:`run` then dispatches pre-chunked work; results
+    stream back in completion order.  :meth:`close` tears the pool down
+    and removes the snapshot file."""
+
+    def __init__(
+        self,
+        system,
+        workers: int,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise TopologyError(f"replica workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = _pick_start_method(start_method)
+        fd, self._snapshot_path = tempfile.mkstemp(
+            prefix="topology-replica-", suffix=".topo"
+        )
+        os.close(fd)
+        self._pool = None
+        try:
+            system.save(self._snapshot_path)
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=workers,
+                initializer=_init_replica,
+                initargs=(self._snapshot_path,),
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    def run(
+        self, chunks: Sequence[Tuple[str, Sequence[Tuple[int, TopologyQuery]]]]
+    ) -> List[List[Tuple[int, MethodResult]]]:
+        """Execute every chunk; replies arrive in completion order (each
+        reply keeps its items' batch indices)."""
+        if self._pool is None:
+            raise TopologyError("replica pool is closed")
+        return list(self._pool.imap_unordered(_run_chunk, chunks))
+
+    def close(self) -> None:
+        """Stop the workers and delete the snapshot file (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if self._snapshot_path and os.path.exists(self._snapshot_path):
+            try:
+                os.remove(self._snapshot_path)
+            except OSError:  # pragma: no cover - best effort cleanup
+                pass
+        self._snapshot_path = ""
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

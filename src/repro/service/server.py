@@ -1,0 +1,694 @@
+"""Concurrent serving layer: many queries, one shared engine.
+
+:class:`TopologyServer` is the multi-threaded counterpart of
+:class:`~repro.service.TopologyService` — the component that turns the
+paper's online phase (Figure 10) into something that can serve heavy
+interactive traffic against one shared, materialized
+:class:`~repro.core.engine.TopologySearchSystem`:
+
+* **Reader–writer coordination** — every query holds a shared *read*
+  lease for its whole execution; :meth:`rebuild` and :meth:`restore`
+  take the exclusive *write* path.  Queries therefore proceed in
+  parallel with each other, and a writer never mutates state a reader
+  is traversing.
+
+* **Generation hot-swap** — :meth:`rebuild` does *not* rebuild the
+  serving system in place.  It clones the base relations
+  (:meth:`~repro.core.engine.TopologySearchSystem.clone_base`), runs the
+  offline phase on the clone — concurrently with live traffic — and
+  only then takes the write lock for a pointer swap measured in
+  microseconds.  In-flight readers finish on the old generation, the
+  next request sees the new one, and no request ever observes a
+  half-built store.  :meth:`restore` hot-swaps a snapshot the same way.
+  Every result is stamped with the generation that produced it
+  (``MethodResult.generation``).
+
+* **Single-flight deduplication** — when N concurrent requests ask the
+  same (method, query) and the result is not cached yet, exactly one of
+  them plans and executes; the other N-1 wait for that execution and
+  share its result.  A thundering herd of identical queries costs one
+  engine execution, not N.
+
+* **Parallel batches** — :meth:`query_many` fans a workload out over a
+  thread pool, *grouped by plan class* first: one leader per class runs
+  ahead and populates the engine's plan cache, then the rest of the
+  class fans out as plan-cache hits.  For CPU-bound workloads on
+  multi-core machines, ``mode="process"`` fans out over warm replica
+  processes instead (:mod:`repro.service.replica`) — the only way past
+  the GIL on a stock interpreter.
+
+The counters (:meth:`stats`) are exact under concurrency and obey two
+invariants the stress tests pin down: ``hits + misses == requests`` and
+``misses == executions + coalesced``.
+
+Locking order, for maintainers: the RW lease is always outermost, then
+the flight lock, then a cache/calibrator internal lock.  Nothing ever
+acquires them in another order, and no engine call is made while the
+flight lock is held (flights are waited on *outside* it).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import BuildReport, TopologySearchSystem
+from repro.core.methods import MethodResult
+from repro.core.plan import PlanCacheStats, QueryPlan
+from repro.core.query import TopologyQuery
+from repro.errors import TopologyError
+from repro.service.cache import MISSING, CacheStats, LRUCache
+from repro.service.facade import (
+    DEFAULT_METHOD,
+    LatencyStats,
+    resolve_rebuild_config,
+)
+
+__all__ = ["ReadWriteLock", "ServerStats", "TopologyServer"]
+
+
+class ReadWriteLock:
+    """A reader–writer lock with writer preference.
+
+    Any number of readers share the lock; a writer excludes everyone.
+    A *waiting* writer blocks new readers (otherwise a steady read load
+    would starve rebuilds forever), but the readers already inside
+    finish first — which is exactly the generation contract: in-flight
+    queries complete on the old generation, the swap happens, and the
+    queued readers see the new one.
+
+    Not reentrant: a thread holding a read lease must not request the
+    write lock (that's a deadlock by construction)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class _Flight:
+    """One in-flight engine execution other requests can latch onto."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[MethodResult] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, result: MethodResult) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def wait(self) -> MethodResult:
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Counter snapshot for one :class:`TopologyServer`.
+
+    ``requests`` counts every :meth:`TopologyServer.query` call;
+    ``executions`` the engine executions dispatched (including failed
+    ones — ``failures`` of them raised); ``coalesced`` the requests that
+    waited on another request's in-flight execution instead of running
+    their own.  Exact invariants:
+    ``result_cache.hits + result_cache.misses == requests`` and
+    ``result_cache.misses == executions + coalesced``."""
+
+    generation: int
+    requests: int
+    executions: int
+    coalesced: int
+    failures: int
+    rebuilds: int
+    restores: int
+    in_flight: int
+    result_cache: CacheStats
+    plan_cache: PlanCacheStats
+
+
+class TopologyServer:
+    """Thread-safe query serving over one shared topology system.
+
+    The server owns the result cache, latency accounting and request
+    coordination; the engine underneath owns the plan cache and the
+    cost calibrator, so those swap atomically with the generation.
+
+    ``system`` must already be built (or snapshot-restored): a server
+    exists to serve, and every lifecycle transition afterwards goes
+    through :meth:`rebuild`/:meth:`restore`.  Use it as a context
+    manager or call :meth:`close` to release the worker pools."""
+
+    def __init__(
+        self,
+        system: TopologySearchSystem,
+        cache_size: int = 4096,
+        default_method: str = DEFAULT_METHOD,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if system.store is None:
+            raise TopologyError(
+                "TopologyServer serves a built system: call build() first "
+                "or restore from a snapshot"
+            )
+        self.default_method = default_method.lower()
+        self.max_workers = max_workers
+        self._rw = ReadWriteLock()
+        self._system = system
+        self._generation = 1
+        self._cache = LRUCache(cache_size)
+        # Single-flight table.  The flight lock also makes the
+        # request/hit/miss/coalesced/execution accounting atomic per
+        # request, which is what lets the stress tests assert exact
+        # counter invariants under heavy thread contention.
+        self._flights: Dict[Tuple[str, TopologyQuery], _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._latency: Dict[str, LatencyStats] = {}
+        self._latency_lock = threading.Lock()
+        # One rebuild/restore at a time; the heavy build work happens
+        # under this mutex but *outside* the write lock, so traffic
+        # keeps flowing while the next generation is prepared.
+        self._writer_mutex = threading.Lock()
+        self._pools: Dict[int, ThreadPoolExecutor] = {}
+        self._pool_lock = threading.Lock()
+        self._replica_pool = None  # lazily created repro.service.replica pool
+        self._replica_workers = 0
+        self._replica_generation = 0
+        # One process-mode fan-out at a time: a second caller with a
+        # different worker count would otherwise close the pool the
+        # first is consuming mid-run (and concurrent replica batches
+        # would just fight over the same cores anyway).
+        self._replica_mutex = threading.Lock()
+        self._closed = False
+        self._requests = 0
+        self._executions = 0
+        self._coalesced = 0
+        self._failures = 0
+        self._rebuilds = 0
+        self._restores = 0
+
+    # ------------------------------------------------------------------
+    # Construction conveniences / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        cache_size: int = 4096,
+        default_method: str = DEFAULT_METHOD,
+        max_workers: Optional[int] = None,
+    ) -> "TopologyServer":
+        """Cold-start a server from a :mod:`repro.persist` snapshot."""
+        return cls(
+            TopologySearchSystem.from_snapshot(path),
+            cache_size=cache_size,
+            default_method=default_method,
+            max_workers=max_workers,
+        )
+
+    def close(self) -> None:
+        """Shut down worker pools (idempotent).  Queries submitted after
+        close still work — they just run on the caller's thread.  An
+        in-flight ``query_many(mode="process")`` batch is allowed to
+        finish first (terminating the pool under its consumer would
+        strand it waiting on results that never arrive)."""
+        with self._pool_lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+            replicas, self._replica_pool = self._replica_pool, None
+            self._closed = True
+        for pool in pools:
+            pool.shutdown(wait=True)
+        if replicas is not None:
+            with self._replica_mutex:  # drain the in-flight batch
+                replicas.close()
+
+    def __enter__(self) -> "TopologyServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def generation(self) -> int:
+        """The serving generation (1-based; bumped by every hot swap)."""
+        return self._generation
+
+    @property
+    def system(self) -> TopologySearchSystem:
+        """The currently serving system.  Treat as read-only: mutating
+        it in place bypasses the generation contract."""
+        return self._system
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def query(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> MethodResult:
+        """Evaluate one query; safe to call from any number of threads.
+
+        Repeats are served from the LRU result cache; concurrent
+        identical requests are deduplicated single-flight (one engine
+        execution, shared by every waiter).  The whole call holds a read
+        lease, so the answer is always consistent with exactly one
+        generation — stamped on ``result.generation``."""
+        name = (method or self.default_method).lower()
+        with self._rw.read_locked():
+            return self._query_locked(name, query)
+
+    def _query_locked(self, name: str, query: TopologyQuery) -> MethodResult:
+        """The body of :meth:`query`; caller holds a read lease."""
+        system = self._system
+        generation = self._generation
+        key = (name, query)
+        with self._flight_lock:
+            self._requests += 1
+            cached = self._cache.get(key, MISSING)
+            if cached is not MISSING:
+                return cached
+            flight = self._flights.get(key)
+            owner = flight is None
+            if owner:
+                flight = _Flight()
+                self._flights[key] = flight
+                self._executions += 1
+            else:
+                self._coalesced += 1
+        if not owner:
+            # Latch onto the owner's execution.  Waiting happens outside
+            # the flight lock, so the owner can resolve; both hold read
+            # leases, so a pending writer cannot wedge between them.
+            return flight.wait()
+        return self._execute_flight(system, generation, name, query, key, flight)
+
+    def _execute_flight(
+        self,
+        system: TopologySearchSystem,
+        generation: int,
+        name: str,
+        query: TopologyQuery,
+        key: Tuple[str, TopologyQuery],
+        flight: _Flight,
+    ) -> MethodResult:
+        try:
+            result = system.search(query, method=name)
+        except BaseException as error:
+            with self._flight_lock:
+                self._failures += 1
+                self._flights.pop(key, None)
+            flight.fail(error)
+            raise
+        result.generation = generation
+        self._record_latency(name, result.elapsed_seconds)
+        with self._flight_lock:
+            self._cache.put(key, result)
+            self._flights.pop(key, None)
+        flight.resolve(result)
+        return result
+
+    def _record_latency(self, name: str, seconds: float) -> None:
+        with self._latency_lock:
+            stats = self._latency.get(name)
+            if stats is None:
+                stats = self._latency.setdefault(name, LatencyStats(name))
+        stats.record(seconds)
+
+    def explain(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> QueryPlan:
+        """The plan :meth:`query` would execute, with every
+        alternative's estimated and calibrated cost (never cached in
+        the result cache, never executed)."""
+        name = (method or self.default_method).lower()
+        with self._rw.read_locked():
+            return self._system.explain(query, name)
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries: Iterable[TopologyQuery],
+        method: Optional[str] = None,
+        parallel: Optional[int] = None,
+        mode: str = "thread",
+    ) -> List[MethodResult]:
+        """Evaluate a batch, returning results in submission order.
+
+        ``parallel`` >= 2 fans the batch out over that many workers.
+        The workload is grouped by *plan class* first
+        (:class:`~repro.core.plan.PlanClass`): one leader per class runs
+        ahead of the fan-out, so by the time the bulk of a
+        repeated-shape batch hits the pool its plans are cache hits and
+        the optimizer runs once per class, not once per query.
+        Duplicates are deduplicated through the result cache and
+        single-flight exactly like :meth:`query`.
+
+        ``mode="thread"`` (default) shares this server's engine and
+        caches across workers — ideal when the batch is repetitive or
+        the interpreter can run threads in parallel.  ``mode="process"``
+        fans out over warm *replica processes*, each serving its own
+        copy of the current generation (:mod:`repro.service.replica`):
+        per-query work is then truly parallel on a GIL interpreter, at
+        the price of replica-local plan caches and no shared
+        single-flight.  Replica results are folded back into this
+        server's result cache and latency accounting."""
+        batch = list(queries)
+        name = (method or self.default_method).lower()
+        if mode not in ("thread", "process"):
+            raise TopologyError(f"unknown query_many mode {mode!r}")
+        workers = int(parallel or 0)
+        # After close() there are no pools, but batches still work —
+        # they degrade to the serial loop on the caller's thread.
+        if workers <= 1 or len(batch) <= 1 or self._closed:
+            return [self.query(q, method=name) for q in batch]
+        if mode == "process":
+            return self._query_many_replicas(batch, name, workers)
+        return self._query_many_threads(batch, name, workers)
+
+    def _plan_class_groups(
+        self, batch: Sequence[TopologyQuery], name: str
+    ) -> List[List[int]]:
+        """Batch indices grouped by the queries' plan class, group order
+        by first appearance.  A query whose class cannot be computed
+        (e.g. an entity pair the build does not cover) gets a singleton
+        group; the error surfaces at execution time."""
+        with self._rw.read_locked():
+            system = self._system
+            method_obj = system.method(name)
+            groups: Dict[Any, List[int]] = {}
+            for index, query in enumerate(batch):
+                try:
+                    cls_key: Any = system.planner.classify(query, method_obj)
+                except Exception:
+                    cls_key = ("unclassified", index)
+                groups.setdefault(cls_key, []).append(index)
+        return list(groups.values())
+
+    def _query_many_threads(
+        self, batch: List[TopologyQuery], name: str, workers: int
+    ) -> List[MethodResult]:
+        pool = self._thread_pool(workers)
+        if pool is None:  # closed while we were getting ready
+            return [self.query(q, method=name) for q in batch]
+        groups = self._plan_class_groups(batch, name)
+        leaders = [group[0] for group in groups]
+        followers = [index for group in groups for index in group[1:]]
+        results: List[Optional[MethodResult]] = [None] * len(batch)
+
+        def run(index: int):
+            return index, self.query(batch[index], method=name)
+
+        # Two waves: leaders warm the plan cache (and the result cache
+        # for exact duplicates), then the rest fan out as cache hits.
+        for wave in (leaders, followers):
+            if not wave:
+                continue
+            try:
+                for index, result in pool.map(run, wave):
+                    results[index] = result
+            except RuntimeError:  # pool shut down mid-batch (close()):
+                for index in wave:  # finish on the caller's thread
+                    if results[index] is None:
+                        results[index] = self.query(batch[index], method=name)
+        return results  # type: ignore[return-value]  # every index was assigned
+
+    def _thread_pool(self, workers: int) -> Optional[ThreadPoolExecutor]:
+        """A pool of the requested width, or ``None`` once closed (the
+        caller then degrades to the serial loop)."""
+        capped = workers if self.max_workers is None else min(workers, self.max_workers)
+        capped = max(1, capped)
+        with self._pool_lock:
+            if self._closed:
+                return None
+            pool = self._pools.get(capped)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=capped,
+                    thread_name_prefix=f"topology-server-{capped}",
+                )
+                self._pools[capped] = pool
+        return pool
+
+    def _query_many_replicas(
+        self, batch: List[TopologyQuery], name: str, workers: int
+    ) -> List[MethodResult]:
+        groups = self._plan_class_groups(batch, name)
+        with self._replica_mutex:
+            pool_and_generation = self._current_replica_pool(workers)
+            if pool_and_generation is None:  # closed: serial fallback
+                return [self.query(q, method=name) for q in batch]
+            pool, generation = pool_and_generation
+            # Whole plan-class groups land on one replica so each
+            # replica plans each of its classes once; groups are dealt
+            # biggest-first onto the emptiest bucket to balance load.
+            buckets: List[List[int]] = [[] for _ in range(workers)]
+            for group in sorted(groups, key=len, reverse=True):
+                min(buckets, key=len).extend(group)
+            chunks = [
+                (name, [(i, batch[i]) for i in bucket])
+                for bucket in buckets
+                if bucket
+            ]
+            # The fan-out itself runs WITHOUT the read lease: a pending
+            # hot swap must only ever wait microseconds, never a batch.
+            # The replicas serve their own copy of ``generation``, so a
+            # swap mid-run cannot tear these results — they just come
+            # back stamped with the generation they were computed from.
+            results: List[Optional[MethodResult]] = [None] * len(batch)
+            for pairs in pool.run(chunks):
+                for index, result in pairs:
+                    result.generation = generation
+                    results[index] = result
+                    self._record_latency(name, result.elapsed_seconds)
+            # Fold into the shared result cache only if that generation
+            # is still the serving one (checked under a fresh lease).
+            with self._rw.read_locked():
+                if self._generation == generation:
+                    for index, result in enumerate(results):
+                        if result is not None:
+                            self._cache.put((name, batch[index]), result)
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise TopologyError(f"replica fan-out lost queries: {missing}")
+        return results  # type: ignore[return-value]
+
+    def _current_replica_pool(self, workers: int):
+        """The warm replica pool for (current generation, ``workers``),
+        building one if needed, or ``None`` once closed.  Caller holds
+        ``_replica_mutex``, so no consumer is mid-run on the pool being
+        replaced.
+
+        Construction — a snapshot write plus worker start-up, seconds
+        at real scale — deliberately happens *outside* the read lease
+        and outside ``_pool_lock``: under the writer-preferring RW lock
+        a lease held that long would stall a pending hot swap and,
+        behind it, every new query.  Capturing ``(system, generation)``
+        under a brief lease is enough for correctness: a swapped-out
+        system is never mutated in place, so snapshotting it leaselessly
+        still yields a consistent image of its generation.  If a swap
+        lands mid-construction the pool is simply registered as already
+        stale and replaced on the next call."""
+        from repro.service.replica import ReplicaPool
+
+        with self._rw.read_locked():
+            system = self._system
+            generation = self._generation
+        with self._pool_lock:
+            if self._closed:
+                return None
+            pool = self._replica_pool
+            if (
+                pool is not None
+                and self._replica_workers == workers
+                and self._replica_generation == generation
+            ):
+                return pool, generation
+            # Stale (old generation or different width): replace.
+            self._replica_pool = None
+            stale = pool
+        if stale is not None:
+            stale.close()
+        fresh = ReplicaPool(system, workers)
+        with self._pool_lock:
+            if self._closed:  # closed while we were building
+                fresh.close()
+                return None
+            self._replica_pool = fresh
+            self._replica_workers = workers
+            self._replica_generation = generation
+        return fresh, generation
+
+    # ------------------------------------------------------------------
+    # Lifecycle: hot rebuild + snapshot restore
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        **build_kwargs,
+    ) -> BuildReport:
+        """Re-run the offline phase *without* interrupting traffic.
+
+        The previous build's configuration is reused unless overridden
+        (same rules as :meth:`TopologyService.rebuild`).  The build runs
+        on a clone of the base relations while queries keep executing
+        against the current generation; learned calibration factors are
+        carried over; then an exclusive pointer swap — microseconds, not
+        build-seconds — publishes the new generation and drops the
+        result cache.  In-flight queries finish on the generation they
+        started on."""
+        with self._writer_mutex:
+            current = self._system
+            pairs, kwargs = resolve_rebuild_config(
+                current, entity_pairs, build_kwargs
+            )
+            successor = current.clone_base()
+            report = successor.build(pairs, **kwargs)
+            successor.restore_calibration(current.calibrator.export_state())
+            # Runtime knobs survive the swap too: an operator who pinned
+            # plan choices must not have calibration silently re-enabled
+            # by a rebuild.
+            successor.calibration_enabled = current.calibration_enabled
+            self._swap(successor)
+            self._rebuilds += 1
+            return report
+
+    def restore(self, path) -> None:
+        """Hot-swap the serving system for one restored from a
+        :mod:`repro.persist` snapshot (the "load yesterday's build"
+        path).  Loading happens off the write lock; traffic continues
+        until the pointer swap."""
+        with self._writer_mutex:
+            successor = TopologySearchSystem.from_snapshot(path)
+            self._swap(successor)
+            self._restores += 1
+
+    def _swap(self, successor: TopologySearchSystem) -> None:
+        """Publish ``successor`` as the next generation (exclusive)."""
+        with self._rw.write_locked():
+            # No readers inside => no flights outstanding: every flight
+            # is created and resolved under a read lease.
+            self._system = successor
+            self._generation += 1
+            self._cache.clear()
+
+    def save(self, path) -> None:
+        """Snapshot the serving generation.
+
+        The system reference is captured under a brief lease; the write
+        itself — seconds at real scale — runs leaselessly so a pending
+        hot swap (and, behind it, all new queries) never waits on disk.
+        That is consistent: a swapped-out system is never mutated in
+        place, so the captured generation stays a stable image even if
+        a swap lands mid-write."""
+        with self._rw.read_locked():
+            system = self._system
+        system.save(path)
+
+    def invalidate(self) -> None:
+        """Drop every cached result (counters survive).
+
+        Takes the exclusive write path: clearing while an execution is
+        in flight would let that execution re-insert its
+        pre-invalidation result right after the clear.  Under the write
+        lock no reader — hence no flight — is outstanding.  Do not call
+        from a thread that holds a read lease (i.e. from inside a query
+        on this server); the lock is not reentrant."""
+        with self._rw.write_locked():
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        with self._flight_lock:
+            return ServerStats(
+                generation=self._generation,
+                requests=self._requests,
+                executions=self._executions,
+                coalesced=self._coalesced,
+                failures=self._failures,
+                rebuilds=self._rebuilds,
+                restores=self._restores,
+                in_flight=len(self._flights),
+                result_cache=self._cache.stats(),
+                plan_cache=self._system.plan_cache_stats(),
+            )
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        return self._system.plan_cache_stats()
+
+    def calibration_stats(self) -> Dict[str, Any]:
+        return self._system.calibrator.snapshot()
+
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-method engine-execution latency snapshots (cache hits and
+        coalesced waits do not contribute — they would measure the
+        coordination layer, not the engine)."""
+        with self._latency_lock:
+            items = sorted(self._latency.items())
+        return {name: stats.snapshot() for name, stats in items}
+
+    def reset_latency_stats(self) -> None:
+        with self._latency_lock:
+            self._latency.clear()

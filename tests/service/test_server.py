@@ -1,0 +1,381 @@
+"""TopologyServer: hot rebuild, single-flight, batching — plus the
+cache/stats bugfix pins (sentinel misses, plan-cache eviction,
+nearest-rank percentiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttributeConstraint,
+    KeywordConstraint,
+    TopologyQuery,
+    TopologySearchSystem,
+)
+from repro.core.plan import PlanAlternative, PlanCache, PlanClass, QueryPlan
+from repro.errors import TopologyError
+from repro.service import MISSING, LatencyStats, LRUCache, TopologyServer
+
+
+def make_query(keyword: str = "kinase", k: int = 4, ranking: str = "rare"):
+    return TopologyQuery(
+        "Protein",
+        "DNA",
+        KeywordConstraint("DESC", keyword),
+        AttributeConstraint("TYPE", "mRNA"),
+        k=k,
+        ranking=ranking,
+    )
+
+
+@pytest.fixture()
+def server(tiny_system):
+    with TopologyServer(tiny_system) as srv:
+        yield srv
+
+
+# ----------------------------------------------------------------------
+# Bugfix pins
+# ----------------------------------------------------------------------
+class TestCacheSentinel:
+    """A cached falsy/None value is a hit, not a miss (the old ``get``
+    returned ``None`` for both, so empty results were re-executed and
+    counted as misses forever)."""
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(capacity=4)
+        cache.put("k", None)
+        assert cache.get("k", MISSING) is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 0)
+
+    def test_cached_empty_values_are_hits(self):
+        cache = LRUCache(capacity=4)
+        for i, value in enumerate(([], 0, "", ())):
+            cache.put(i, value)
+        for i, value in enumerate(([], 0, "", ())):
+            assert cache.get(i, MISSING) == value
+        assert cache.stats().hits == 4
+        assert cache.stats().misses == 0
+
+    def test_miss_returns_the_default(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("absent", MISSING) is MISSING
+        assert cache.get("absent") is None  # plain default still works
+        assert cache.stats().misses == 2
+
+    def test_sentinel_is_falsy_and_unique(self):
+        assert not MISSING
+        assert MISSING is not None
+
+
+class TestPlanCacheEviction:
+    """A stale-version entry is evicted on discovery and counted as an
+    invalidation — it must not keep occupying LRU capacity where it can
+    push out live plans."""
+
+    @staticmethod
+    def plan_class(tag: str) -> PlanClass:
+        return PlanClass(
+            method="m",
+            strategies=("regular",),
+            entity1="A",
+            entity2=tag,
+            shape1=("all", 0),
+            shape2=("all", 0),
+            max_length=3,
+            k_bucket=0,
+            ranking="rare",
+        )
+
+    @classmethod
+    def plan_for(cls, tag: str) -> QueryPlan:
+        return QueryPlan(
+            method="m",
+            strategy="regular",
+            plan_class=cls.plan_class(tag),
+            alternatives=(PlanAlternative("regular", None, 1.0),),
+        )
+
+    def test_stale_version_entry_is_evicted(self):
+        cache = PlanCache(capacity=4)
+        pc = self.plan_class("B")
+        cache.put(pc, 0, self.plan_for("B"))
+        assert cache.get(pc, 1) is None  # version moved on
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.invalidations == 1
+        assert stats.size == 0  # the dead entry is gone, not resident
+
+    def test_dead_entry_no_longer_evicts_live_plans(self):
+        cache = PlanCache(capacity=2)
+        stale, live = self.plan_class("stale"), self.plan_class("live")
+        cache.put(stale, 0, self.plan_for("stale"))
+        cache.put(live, 1, self.plan_for("live"))
+        assert cache.get(stale, 1) is None  # discovery evicts the corpse
+        cache.put(self.plan_class("new"), 1, self.plan_for("new"))
+        # Before the fix the resident corpse made this put evict "live".
+        assert cache.get(live, 1) is not None
+        assert cache.stats().size == 2
+
+    def test_uncosted_entry_misses_but_stays_resident(self):
+        cache = PlanCache(capacity=4)
+        pc = self.plan_class("B")
+        cache.put(pc, 3, self.plan_for("B"))  # costed=False plan
+        assert cache.get(pc, 3, require_costed=True) is None
+        assert cache.stats().invalidations == 0
+        assert cache.stats().size == 1  # still a fine hot-path plan
+        assert cache.get(pc, 3) is not None
+
+
+class TestNearestRankPercentile:
+    """percentile() is the explicit nearest rank ceil(q/100 * n), not
+    ``int(round(...))`` whose banker's rounding shifted p50 of an
+    even-sized window up a rank."""
+
+    @staticmethod
+    def stats_with(samples):
+        stats = LatencyStats("m")
+        for s in samples:
+            stats.record(s)
+        return stats
+
+    def test_p50_of_even_window_is_lower_middle(self):
+        stats = self.stats_with([0.1, 0.2, 0.3, 0.4])
+        assert stats.percentile(50) == 0.2  # was 0.3 via round(1.5) == 2
+
+    def test_known_sample_set(self):
+        stats = self.stats_with([0.4, 0.1, 0.3, 0.2])  # order-insensitive
+        assert stats.percentile(25) == 0.1
+        assert stats.percentile(75) == 0.3
+        assert stats.percentile(95) == 0.4
+        assert stats.percentile(100) == 0.4
+        assert stats.percentile(0) == 0.1  # rank clamps to 1
+
+    def test_odd_window_median(self):
+        assert self.stats_with([3.0, 1.0, 2.0]).percentile(50) == 2.0
+
+    def test_empty_window(self):
+        assert LatencyStats("m").percentile(50) == 0.0
+
+    def test_snapshot_uses_nearest_rank(self):
+        stats = self.stats_with([0.1, 0.2, 0.3, 0.4])
+        assert stats.snapshot()["p50_seconds"] == 0.2
+
+
+# ----------------------------------------------------------------------
+# Server basics
+# ----------------------------------------------------------------------
+class TestServerQueries:
+    def test_requires_a_built_system(self, tiny_dataset):
+        unbuilt = TopologySearchSystem(tiny_dataset.database, tiny_dataset.graph())
+        with pytest.raises(TopologyError, match="built"):
+            TopologyServer(unbuilt)
+
+    def test_repeat_query_served_from_cache(self, server):
+        query = make_query()
+        first = server.query(query)
+        assert server.query(query) is first
+        stats = server.stats()
+        assert stats.result_cache.hits == 1
+        assert stats.result_cache.misses == 1
+        assert stats.executions == 1
+
+    def test_results_match_the_engine(self, server, tiny_system):
+        query = make_query()
+        assert server.query(query).tids == tiny_system.search(query).tids
+
+    def test_results_are_generation_stamped(self, server):
+        assert server.query(make_query()).generation == server.generation == 1
+
+    def test_counter_invariants(self, server):
+        for keyword in ("kinase", "binding", "kinase"):
+            server.query(make_query(keyword))
+        stats = server.stats()
+        assert stats.requests == 3
+        assert stats.result_cache.hits + stats.result_cache.misses == stats.requests
+        assert stats.result_cache.misses == stats.executions + stats.coalesced
+
+    def test_explain_does_not_execute_or_cache(self, server):
+        plan = server.explain(make_query())
+        assert plan.has_costs
+        assert server.stats().result_cache.size == 0
+
+    def test_latency_records_only_executions(self, server):
+        query = make_query()
+        for _ in range(4):
+            server.query(query)
+        assert server.latency_stats()["fast-top-k-opt"]["count"] == 1
+
+    def test_invalid_pair_raises_and_counts_failure(self, server):
+        bad = TopologyQuery(
+            "DNA",
+            "Unigene",
+            KeywordConstraint("DESC", "x"),
+            AttributeConstraint("TYPE", "y"),
+        )
+        with pytest.raises(TopologyError):
+            server.query(bad)
+        stats = server.stats()
+        assert stats.failures == 1
+        assert stats.in_flight == 0  # the failed flight was removed
+
+
+class TestHotRebuild:
+    def test_rebuild_swaps_generation_without_touching_the_original(
+        self, tiny_system
+    ):
+        with TopologyServer(tiny_system) as server:
+            query = make_query()
+            before = server.query(query)
+            original_digest = tiny_system.require_store().state_digest()
+            report = server.rebuild()
+            assert report.alltops.distinct_topologies > 0
+            assert server.generation == 2
+            after = server.query(query)
+            assert after is not before
+            assert after.tids == before.tids  # same data -> same answer
+            assert after.generation == 2
+            # Hot rebuild built a clone; the original system is untouched
+            # and still serves other owners.
+            assert tiny_system.require_store().state_digest() == original_digest
+            assert server.system is not tiny_system
+
+    def test_rebuild_carries_config_and_calibration(self, tiny_system):
+        with TopologyServer(tiny_system) as server:
+            server.query(make_query())
+            observed = sum(
+                s["count"] for s in server.calibration_stats()["strategies"].values()
+            )
+            assert observed >= 1
+            server.rebuild()
+            carried = sum(
+                s["count"] for s in server.calibration_stats()["strategies"].values()
+            )
+            assert carried == observed  # learned factors survive the swap
+            assert server.system.max_length == tiny_system.max_length
+            assert server.system.built_pairs == tiny_system.built_pairs
+
+    def test_rebuild_overrides_win(self, tiny_system):
+        with TopologyServer(tiny_system) as server:
+            baseline = server.query(make_query()).tids
+            server.rebuild(per_pair_path_limit=1)
+            limited = server.query(make_query()).tids
+            assert limited != baseline  # the override changed the store
+            server.rebuild(per_pair_path_limit=None)
+            assert server.query(make_query()).tids == baseline
+
+    def test_rebuild_preserves_calibration_enabled_flag(self, tiny_system):
+        tiny_system.calibration_enabled = False
+        try:
+            with TopologyServer(tiny_system) as server:
+                server.rebuild()
+                assert server.system.calibration_enabled is False
+        finally:
+            tiny_system.calibration_enabled = True
+
+    def test_rebuild_drops_result_cache(self, tiny_system):
+        with TopologyServer(tiny_system) as server:
+            server.query(make_query())
+            server.rebuild()
+            assert server.stats().result_cache.size == 0
+            assert server.stats().rebuilds == 1
+
+
+class TestSnapshotLifecycle:
+    def test_save_restore_round_trip(self, tiny_system, tmp_path):
+        path = tmp_path / "srv.topo"
+        query = make_query()
+        with TopologyServer(tiny_system) as server:
+            expected = server.query(query).tids
+            server.save(path)
+            server.restore(path)
+            assert server.generation == 2
+            assert server.stats().restores == 1
+            assert server.query(query).tids == expected
+
+    def test_from_snapshot(self, tiny_system, tmp_path):
+        path = tmp_path / "srv.topo"
+        tiny_system.save(path)
+        with TopologyServer.from_snapshot(path, cache_size=16) as server:
+            result = server.query(make_query())
+            assert result.tids == tiny_system.search(make_query()).tids
+
+
+class TestQueryMany:
+    def workload(self):
+        return [
+            make_query(keyword, k)
+            for keyword in ("kinase", "binding", "human")
+            for k in (2, 4)
+        ]
+
+    def test_serial_batch_matches_submission_order(self, server):
+        batch = self.workload()
+        results = server.query_many(batch)
+        assert [r.query for r in results] == batch
+
+    def test_parallel_batch_matches_serial_oracle(self, tiny_system):
+        batch = self.workload()
+        oracle = [tiny_system.search(q).tids for q in batch]
+        with TopologyServer(tiny_system) as server:
+            results = server.query_many(batch, parallel=4)
+            assert [r.tids for r in results] == oracle
+
+    def test_parallel_batch_deduplicates(self, server):
+        query = make_query()
+        results = server.query_many([query] * 8, parallel=4)
+        assert len(results) == 8
+        assert len({id(r) for r in results}) == 1  # one shared result
+        assert server.stats().executions == 1
+
+    def test_plan_class_grouping_amortizes_planning(self, tiny_system):
+        # Same class (same shape, same k bucket), distinct result keys.
+        batch = [make_query("kinase", k) for k in (3, 4)] * 2
+        # Freeze calibration: a version bump between the leader and the
+        # follower would (correctly) evict the plan and hide the hit.
+        tiny_system.calibration_enabled = False
+        try:
+            with TopologyServer(tiny_system) as server:
+                before = server.plan_cache_stats()
+                server.query_many(batch, parallel=2)
+                after = server.plan_cache_stats()
+                # 2 distinct keys -> 2 executions -> 2 plan lookups; the
+                # leader planned, the follower wave hit.
+                assert after.requests - before.requests == 2
+                assert after.hits - before.hits >= 1
+        finally:
+            tiny_system.calibration_enabled = True
+
+    def test_unknown_mode_rejected(self, server):
+        with pytest.raises(TopologyError, match="mode"):
+            server.query_many([make_query()], parallel=2, mode="carrier-pigeon")
+
+    def test_process_mode_matches_thread_mode(self, tiny_system):
+        batch = self.workload()
+        oracle = [tiny_system.search(q).tids for q in batch]
+        with TopologyServer(tiny_system) as server:
+            results = server.query_many(batch, parallel=2, mode="process")
+            assert [r.tids for r in results] == oracle
+            assert {r.generation for r in results} == {1}
+            # Replica results warm the shared result cache.
+            follow_up = server.query(batch[0])
+            assert follow_up.tids == oracle[0]
+            assert server.stats().result_cache.hits >= 1
+
+
+class TestClose:
+    def test_close_is_idempotent_and_queries_degrade_to_serial(self, tiny_system):
+        server = TopologyServer(tiny_system)
+        server.query(make_query())
+        server.close()
+        server.close()
+        assert server.query(make_query("binding")).tids is not None
+        # Batches still work after close — on the caller's thread.
+        results = server.query_many(
+            [make_query("kinase"), make_query("human")], parallel=2
+        )
+        assert [r.tids for r in results] == [
+            tiny_system.search(make_query("kinase")).tids,
+            tiny_system.search(make_query("human")).tids,
+        ]
