@@ -280,6 +280,7 @@ def test_rebuild_under_load_returns_only_consistent_results():
         "concurrent",
         {
             "rebuild_under_load": {
+                "cores": os.cpu_count() or 1,
                 "reader_threads": READERS,
                 "results_observed": len(observed),
                 "generations": len(per_generation),

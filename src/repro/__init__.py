@@ -22,7 +22,7 @@ Packages:
   rendering for the benchmark harnesses.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import (
     AttributeConstraint,

@@ -11,25 +11,43 @@ paper's engine-level contributions (Sections 5.3-5.4) can be
 implemented *inside* the engine rather than bolted on outside.
 """
 
+from repro.relational.column import BATCH_SIZE, HAVE_NUMPY, Batch, ColumnStore
 from repro.relational.database import Database, ExecStats
 from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.runtime import (
+    columnar_enabled,
+    columnar_mode,
+    execution_mode,
+    row_mode,
+    set_default_mode,
+)
 from repro.relational.schema import Column, TableSchema
-from repro.relational.sql.planner import Engine, QueryResult
+from repro.relational.sql.planner import Engine, PreparedPlan, QueryResult
 from repro.relational.statistics import StatsCatalog, collect_table_stats
 from repro.relational.table import Table
 from repro.relational.types import DataType
 
 __all__ = [
+    "BATCH_SIZE",
+    "Batch",
     "Column",
+    "ColumnStore",
     "DataType",
     "Database",
     "Engine",
     "ExecStats",
+    "HAVE_NUMPY",
     "HashIndex",
+    "PreparedPlan",
     "QueryResult",
     "SortedIndex",
     "StatsCatalog",
     "Table",
     "TableSchema",
     "collect_table_stats",
+    "columnar_enabled",
+    "columnar_mode",
+    "execution_mode",
+    "row_mode",
+    "set_default_mode",
 ]

@@ -83,6 +83,7 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: Dict[str, Table] = {}
+        self._catalog_version = 0
         # Executor counters are kept per thread: a query plans and
         # executes entirely on one thread, so handing every thread its
         # own ExecStats keeps the per-row increments lock-free *and*
@@ -154,6 +155,7 @@ class Database:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema)
         self._tables[key] = table
+        self._catalog_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -161,6 +163,17 @@ class Database:
         if key not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
+        self._catalog_version += 1
+
+    def change_token(self) -> Tuple:
+        """A cheap value that changes whenever the catalog or any
+        table's data changes — the SQL engine's prepared-statement cache
+        revalidates against it, so a cached plan can never serve results
+        computed over stale data or a stale schema."""
+        return (
+            self._catalog_version,
+            tuple(table.data_version for table in self._tables.values()),
+        )
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables

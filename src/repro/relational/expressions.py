@@ -1,13 +1,33 @@
-"""Scalar expressions and predicates over rows.
+"""Scalar expressions and predicates over rows and column batches.
 
 Expressions are immutable trees.  Before execution they are *bound*
 against a :class:`RowLayout` (the qualified column list an operator
-produces), yielding a plain Python closure — evaluation is then just a
-function call per row, with no name resolution in the hot loop.
+produces).  Binding comes in two flavors:
 
-SQL three-valued logic is honoured: comparisons against NULL evaluate to
-``None`` ("unknown"), AND/OR/NOT propagate unknowns per Kleene logic,
-and WHERE treats unknown as false.
+* :meth:`Expression.bind` yields a plain Python closure evaluated once
+  per row — the retained reference row engine's hot loop.
+* :meth:`Expression.bind_batch` yields a closure evaluated once per
+  :class:`~repro.relational.column.Batch`, returning a
+  :class:`BatchValues` vector — the columnar engine's hot loop.  Where
+  both sides of a node are numpy-backed (or constants) the whole batch
+  is computed by one vectorized numpy expression; otherwise the node
+  falls back to an element-wise Python loop that replicates the row
+  semantics exactly.
+
+SQL three-valued logic is honoured identically on both paths:
+comparisons against NULL evaluate to ``None`` ("unknown"), AND/OR/NOT
+propagate unknowns per Kleene logic, and WHERE treats unknown as false.
+The batch path leans on one invariant from the column store: a
+numpy-backed batch column never contains NULLs, so vectorized boolean
+results never contain unknowns and stay plain ``bool`` arrays.  Any
+source of unknowns (NULL literals, incomparable operand types, list
+columns with NULL entries) routes through the constant or list
+representations, where ``None`` is representable.
+
+The two paths are allowed to diverge only on *errors* in partial
+expressions (e.g. division by zero aborts the batch rather than failing
+at one row) — never on values.  ``tests/relational/
+test_expression_masks.py`` property-checks the agreement.
 """
 
 from __future__ import annotations
@@ -16,10 +36,12 @@ import re
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SqlBindError
+from repro.relational.column import Batch
 from repro.relational.types import comparable
 
 Row = Tuple[Any, ...]
 RowFunc = Callable[[Row], Any]
+BatchFunc = Callable[[Batch], "BatchValues"]
 ColumnKey = Tuple[Optional[str], str]  # (qualifier or None, column name), lowercase
 
 
@@ -77,12 +99,86 @@ class RowLayout:
         return "RowLayout(" + ", ".join(f"{a}.{n}" for a, n in self.entries) + ")"
 
 
+class BatchValues:
+    """One expression result per batch row, in the cheapest faithful
+    representation:
+
+    * ``"np"`` — a numpy array (never contains NULL/unknown; boolean
+      results have dtype bool);
+    * ``"list"`` — a Python list of plain Python values, ``None`` for
+      NULL/unknown;
+    * ``"const"`` — one Python value broadcast over the batch (how NULL
+      literals, uniformly-unknown comparisons, and short-circuited
+      AND/OR legs stay O(1)).
+    """
+
+    __slots__ = ("kind", "data", "length")
+
+    def __init__(self, kind: str, data: Any, length: int) -> None:
+        self.kind = kind
+        self.data = data
+        self.length = length
+
+    def pylist(self) -> list:
+        """Materialize as a Python list of plain Python values."""
+        if self.kind == "np":
+            return self.data.tolist()
+        if self.kind == "const":
+            return [self.data] * self.length
+        return self.data
+
+    def as_keep(self):
+        """Per-row keep flags under WHERE semantics (unknown → drop):
+        a numpy bool array or a list of bools."""
+        if self.kind == "np":
+            if self.data.dtype.kind == "b":
+                return self.data
+            # Non-bool values are never `is True` under row semantics.
+            return [False] * self.length
+        if self.kind == "const":
+            return [self.data is True] * self.length
+        return [v is True for v in self.data]
+
+    def as_column(self):
+        """As a batch column (numpy array or list)."""
+        if self.kind == "const":
+            return [self.data] * self.length
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchValues({self.kind}, n={self.length})"
+
+
+def _is_bool_side(v: "BatchValues") -> bool:
+    if v.kind == "np":
+        return v.data.dtype.kind == "b"
+    return isinstance(v.data, bool)
+
+
+def _np_arith_operand(v: "BatchValues"):
+    """Operand for vectorized arithmetic.  Python treats bools as ints
+    in arithmetic; numpy raises on bool arrays for ``-``, so promote."""
+    if v.kind == "np":
+        return v.data.astype("int64") if v.data.dtype.kind == "b" else v.data
+    return int(v.data) if isinstance(v.data, bool) else v.data
+
+
 class Expression:
-    """Base class.  Subclasses implement :meth:`bind` and
-    :meth:`column_refs`."""
+    """Base class.  Subclasses implement :meth:`bind`,
+    :meth:`column_refs`, and (optionally) a vectorized
+    :meth:`bind_batch` — the default batch binding falls back to the
+    row closure applied element-wise, so row-only nodes stay correct."""
 
     def bind(self, layout: RowLayout) -> RowFunc:
         raise NotImplementedError
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        fn = self.bind(layout)
+
+        def run(batch: Batch) -> BatchValues:
+            return BatchValues("list", [fn(row) for row in batch.to_rows()], batch.length)
+
+        return run
 
     def column_refs(self) -> Set[ColumnKey]:
         """All (qualifier, column) pairs referenced, lowercased."""
@@ -104,6 +200,10 @@ class Literal(Expression):
         value = self.value
         return lambda row: value
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        value = self.value
+        return lambda batch: BatchValues("const", value, batch.length)
+
     def column_refs(self) -> Set[ColumnKey]:
         return set()
 
@@ -119,6 +219,16 @@ class ColumnRef(Expression):
     def bind(self, layout: RowLayout) -> RowFunc:
         pos = layout.position(self.qualifier, self.name)
         return lambda row: row[pos]
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        pos = layout.position(self.qualifier, self.name)
+
+        def run(batch: Batch) -> BatchValues:
+            column = batch.columns[pos]
+            kind = "list" if isinstance(column, list) else "np"
+            return BatchValues(kind, column, batch.length)
+
+        return run
 
     def column_refs(self) -> Set[ColumnKey]:
         return {(self.qualifier, self.name)}
@@ -167,6 +277,53 @@ class Comparison(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        lf, rf = self.left.bind_batch(layout), self.right.bind_batch(layout)
+        fn = _COMPARATORS[self.op]
+        op = self.op
+        ordered = op in ("<", "<=", ">", ">=")
+
+        def run(batch: Batch) -> BatchValues:
+            a, b = lf(batch), rf(batch)
+            n = batch.length
+            if (a.kind == "const" and a.data is None) or (
+                b.kind == "const" and b.data is None
+            ):
+                return BatchValues("const", None, n)
+            if a.kind == "const" and b.kind == "const":
+                if ordered and not comparable(a.data, b.data):
+                    return BatchValues("const", None, n)
+                return BatchValues("const", fn(a.data, b.data), n)
+            if a.kind != "list" and b.kind != "list":
+                # numpy array vs numpy array / non-NULL constant: neither
+                # side can hold NULLs, so the result is a pure bool array
+                # — unless the types are incomparable, which is uniform
+                # across the batch (numpy-backed columns are homogeneous).
+                for side in (a, b):
+                    if side.kind == "const" and not isinstance(
+                        side.data, (bool, int, float)
+                    ):
+                        # e.g. a string literal against a numeric column:
+                        # Python cross-type equality is plain False.
+                        if ordered:
+                            return BatchValues("const", None, n)
+                        return BatchValues("const", op == "<>", n)
+                if ordered and _is_bool_side(a) != _is_bool_side(b):
+                    return BatchValues("const", None, n)  # comparable() says no
+                return BatchValues("np", fn(a.data, b.data), n)
+            # Element-wise path, identical to the row engine.
+            out: List[Optional[bool]] = []
+            for x, y in zip(a.pylist(), b.pylist()):
+                if x is None or y is None:
+                    out.append(None)
+                elif ordered and not comparable(x, y):
+                    out.append(None)
+                else:
+                    out.append(fn(x, y))
+            return BatchValues("list", out, n)
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         return self.left.column_refs() | self.right.column_refs()
 
@@ -190,6 +347,62 @@ class And(Expression):
                 if v is None:
                     unknown = True
             return None if unknown else True
+
+        return run
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        funcs = [item.bind_batch(layout) for item in self.items]
+
+        def run(batch: Batch) -> BatchValues:
+            n = batch.length
+            arrays = []  # numpy bool legs: True / False, never unknown
+            lists = []  # legs that may hold None / non-bool values
+            const_unknown = False
+            for fn in funcs:
+                v = fn(batch)
+                if v.kind == "const":
+                    if v.data is False:
+                        return BatchValues("const", False, n)
+                    if v.data is None:
+                        const_unknown = True
+                    # Any other constant (True or non-bool) never makes
+                    # the AND false or unknown — same identity checks as
+                    # the row loop.
+                elif v.kind == "np":
+                    if v.data.dtype.kind == "b":
+                        arrays.append(v.data)
+                    # Non-bool numpy values are never `is False`/`is None`.
+                else:
+                    lists.append(v.data)
+            t = None
+            if arrays:
+                t = arrays[0]
+                for arr in arrays[1:]:
+                    t = t & arr
+            if lists:
+                out: List[Optional[bool]] = []
+                for i in range(n):
+                    if t is not None and not t[i]:
+                        out.append(False)
+                        continue
+                    unknown = const_unknown
+                    value: Optional[bool] = True
+                    for data in lists:
+                        v = data[i]
+                        if v is False:
+                            value = False
+                            break
+                        if v is None:
+                            unknown = True
+                    out.append(None if value and unknown else value)
+                return BatchValues("list", out, n)
+            if t is not None:
+                if const_unknown:
+                    return BatchValues(
+                        "list", [None if x else False for x in t.tolist()], n
+                    )
+                return BatchValues("np", t, n)
+            return BatchValues("const", None if const_unknown else True, n)
 
         return run
 
@@ -222,6 +435,59 @@ class Or(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        funcs = [item.bind_batch(layout) for item in self.items]
+
+        def run(batch: Batch) -> BatchValues:
+            n = batch.length
+            arrays = []
+            lists = []
+            const_unknown = False
+            for fn in funcs:
+                v = fn(batch)
+                if v.kind == "const":
+                    if v.data is True:
+                        return BatchValues("const", True, n)
+                    if v.data is None:
+                        const_unknown = True
+                elif v.kind == "np":
+                    if v.data.dtype.kind == "b":
+                        arrays.append(v.data)
+                    # Non-bool numpy values are never `is True`/`is None`.
+                else:
+                    lists.append(v.data)
+            t = None
+            if arrays:
+                t = arrays[0]
+                for arr in arrays[1:]:
+                    t = t | arr
+            if lists:
+                out: List[Optional[bool]] = []
+                for i in range(n):
+                    if t is not None and t[i]:
+                        out.append(True)
+                        continue
+                    unknown = const_unknown
+                    value: Optional[bool] = False
+                    for data in lists:
+                        v = data[i]
+                        if v is True:
+                            value = True
+                            break
+                        if v is None:
+                            unknown = True
+                    out.append(None if value is False and unknown else value)
+                return BatchValues("list", out, n)
+            if t is not None:
+                if const_unknown:
+                    return BatchValues(
+                        "list", [True if x else None for x in t.tolist()], n
+                    )
+                return BatchValues("np", t, n)
+            return BatchValues("const", None if const_unknown else False, n)
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         refs: Set[ColumnKey] = set()
         for item in self.items:
@@ -247,6 +513,27 @@ class Not(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        fn = self.item.bind_batch(layout)
+
+        def run(batch: Batch) -> BatchValues:
+            v = fn(batch)
+            n = batch.length
+            if v.kind == "const":
+                return BatchValues(
+                    "const", None if v.data is None else (not v.data), n
+                )
+            if v.kind == "np":
+                if v.data.dtype.kind == "b":
+                    return BatchValues("np", ~v.data, n)
+                # `not` on numbers is truthiness, not bitwise inversion.
+                return BatchValues("list", [not x for x in v.data.tolist()], n)
+            return BatchValues(
+                "list", [None if x is None else (not x) for x in v.data], n
+            )
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         return self.item.column_refs()
 
@@ -256,7 +543,13 @@ class Not(Expression):
 
 class Contains(Expression):
     """Case-insensitive substring containment — the engine-level
-    realization of the paper's ``desc.ct('enzyme')`` keyword predicate."""
+    realization of the paper's ``desc.ct('enzyme')`` keyword predicate.
+
+    The batch path is where keyword scans get their speed: with a
+    constant needle and a direct column haystack on a scan-fresh batch,
+    the haystack's ``str.lower()`` comes from the table's lowered-text
+    cache instead of being recomputed per row per query.
+    """
 
     def __init__(self, haystack: Expression, needle: Expression) -> None:
         self.haystack = haystack
@@ -270,6 +563,52 @@ class Contains(Expression):
             if h is None or n is None:
                 return None
             return str(n).lower() in str(h).lower()
+
+        return run
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        hf = self.haystack.bind_batch(layout)
+        nf = self.needle.bind_batch(layout)
+        hpos: Optional[int] = None
+        if isinstance(self.haystack, ColumnRef):
+            hpos = layout.position(self.haystack.qualifier, self.haystack.name)
+
+        def run(batch: Batch) -> BatchValues:
+            n = batch.length
+            nv = nf(batch)
+            if nv.kind == "const":
+                if nv.data is None:
+                    return BatchValues("const", None, n)
+                needle = str(nv.data).lower()
+                if hpos is not None and batch.lowered is not None:
+                    low = batch.lowered(hpos)
+                    if low is not None:
+                        return BatchValues(
+                            "list",
+                            [None if h is None else (needle in h) for h in low],
+                            n,
+                        )
+                hv = hf(batch)
+                if hv.kind == "const":
+                    if hv.data is None:
+                        return BatchValues("const", None, n)
+                    return BatchValues("const", needle in str(hv.data).lower(), n)
+                return BatchValues(
+                    "list",
+                    [
+                        None if h is None else (needle in str(h).lower())
+                        for h in hv.pylist()
+                    ],
+                    n,
+                )
+            hv = hf(batch)
+            out: List[Optional[bool]] = []
+            for h, nd in zip(hv.pylist(), nv.pylist()):
+                if h is None or nd is None:
+                    out.append(None)
+                else:
+                    out.append(str(nd).lower() in str(h).lower())
+            return BatchValues("list", out, n)
 
         return run
 
@@ -306,6 +645,30 @@ class Like(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        vf = self.value.bind_batch(layout)
+        compiled = self._compiled
+        negated = self.negated
+
+        def run(batch: Batch) -> BatchValues:
+            v = vf(batch)
+            n = batch.length
+            if v.kind == "const":
+                if v.data is None:
+                    return BatchValues("const", None, n)
+                matched = compiled.match(str(v.data)) is not None
+                return BatchValues("const", (not matched) if negated else matched, n)
+            out: List[Optional[bool]] = []
+            for x in v.pylist():
+                if x is None:
+                    out.append(None)
+                else:
+                    matched = compiled.match(str(x)) is not None
+                    out.append((not matched) if negated else matched)
+            return BatchValues("list", out, n)
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         return self.value.column_refs()
 
@@ -333,6 +696,30 @@ class InList(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        vf = self.value.bind_batch(layout)
+        options = self.options
+        negated = self.negated
+
+        def run(batch: Batch) -> BatchValues:
+            v = vf(batch)
+            n = batch.length
+            if v.kind == "const":
+                if v.data is None:
+                    return BatchValues("const", None, n)
+                found = v.data in options
+                return BatchValues("const", (not found) if negated else found, n)
+            out: List[Optional[bool]] = []
+            for x in v.pylist():
+                if x is None:
+                    out.append(None)
+                else:
+                    found = x in options
+                    out.append((not found) if negated else found)
+            return BatchValues("list", out, n)
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         return self.value.column_refs()
 
@@ -352,6 +739,27 @@ class IsNull(Expression):
         def run(row: Row) -> bool:
             is_null = vf(row) is None
             return (not is_null) if negated else is_null
+
+        return run
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        vf = self.value.bind_batch(layout)
+        negated = self.negated
+
+        def run(batch: Batch) -> BatchValues:
+            v = vf(batch)
+            n = batch.length
+            if v.kind == "const":
+                is_null = v.data is None
+                return BatchValues("const", (not is_null) if negated else is_null, n)
+            if v.kind == "np":
+                # numpy-backed values are never NULL.
+                return BatchValues("const", bool(negated), n)
+            return BatchValues(
+                "list",
+                [(x is not None) if negated else (x is None) for x in v.data],
+                n,
+            )
 
         return run
 
@@ -390,6 +798,38 @@ class Arith(Expression):
 
         return run
 
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        lf, rf = self.left.bind_batch(layout), self.right.bind_batch(layout)
+        fn = _ARITH[self.op]
+        op = self.op
+
+        def run(batch: Batch) -> BatchValues:
+            a, b = lf(batch), rf(batch)
+            n = batch.length
+            if (a.kind == "const" and a.data is None) or (
+                b.kind == "const" and b.data is None
+            ):
+                return BatchValues("const", None, n)
+            if a.kind == "const" and b.kind == "const":
+                return BatchValues("const", fn(a.data, b.data), n)
+            if a.kind != "list" and b.kind != "list":
+                x, y = _np_arith_operand(a), _np_arith_operand(b)
+                if op == "/":
+                    # Match Python: raise instead of numpy's inf/nan.
+                    zero = (y == 0) if b.kind == "const" else bool((y == 0).any())
+                    if zero:
+                        raise ZeroDivisionError("division by zero")
+                return BatchValues("np", fn(x, y), n)
+            out: List[Any] = []
+            for x, y in zip(a.pylist(), b.pylist()):
+                if x is None or y is None:
+                    out.append(None)
+                else:
+                    out.append(fn(x, y))
+            return BatchValues("list", out, n)
+
+        return run
+
     def column_refs(self) -> Set[ColumnKey]:
         return self.left.column_refs() | self.right.column_refs()
 
@@ -407,6 +847,25 @@ class Neg(Expression):
         def run(row: Row) -> Any:
             v = vf(row)
             return None if v is None else -v
+
+        return run
+
+    def bind_batch(self, layout: RowLayout) -> BatchFunc:
+        vf = self.value.bind_batch(layout)
+
+        def run(batch: Batch) -> BatchValues:
+            v = vf(batch)
+            n = batch.length
+            if v.kind == "const":
+                return BatchValues("const", None if v.data is None else -v.data, n)
+            if v.kind == "np":
+                if v.data.dtype.kind == "b":
+                    # numpy rejects `-` on bool arrays; Python gives -1/0.
+                    return BatchValues("list", [-x for x in v.data.tolist()], n)
+                return BatchValues("np", -v.data, n)
+            return BatchValues(
+                "list", [None if x is None else -x for x in v.data], n
+            )
 
         return run
 

@@ -48,6 +48,20 @@ class HashIndex:
                 buckets.setdefault(key, []).append(position)
         self._buckets = buckets
 
+    def bulk_build_columns(self, store) -> None:
+        """Rebuild straight from a table's column store, touching only
+        the key columns instead of materializing row tuples."""
+        buckets: Dict[Any, List[int]] = {}
+        if len(self.column_positions) == 1:
+            keys = store.column_values(self.column_positions[0])
+            for position, key in enumerate(keys):
+                buckets.setdefault(key, []).append(position)
+        else:
+            key_columns = [store.column_values(p) for p in self.column_positions]
+            for position, key in enumerate(zip(*key_columns)):
+                buckets.setdefault(key, []).append(position)
+        self._buckets = buckets
+
     def lookup(self, key: Any) -> List[int]:
         return self._buckets.get(key, [])
 
@@ -86,6 +100,18 @@ class SortedIndex:
             (row[self.column_position], pos)
             for pos, row in enumerate(rows)
             if row[self.column_position] is not None
+        ]
+        pairs.sort(key=lambda kv: kv[0])
+        self._keys = [k for k, _ in pairs]
+        self._positions = [p for _, p in pairs]
+
+    def bulk_build_columns(self, store) -> None:
+        """Rebuild straight from a table's column store, touching only
+        the key column instead of materializing row tuples."""
+        pairs = [
+            (key, pos)
+            for pos, key in enumerate(store.column_values(self.column_position))
+            if key is not None
         ]
         pairs.sort(key=lambda kv: kv[0])
         self._keys = [k for k, _ in pairs]

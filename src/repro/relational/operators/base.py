@@ -1,9 +1,23 @@
-"""Volcano-style operator interface.
+"""Volcano-style operator interface, with a batched columnar fast path.
 
 The paper builds on the iterator model of Graefe's Volcano ([17] in the
 paper): every operator supports ``open`` / ``next`` / ``close``, and the
 DGJ family (Section 5.3) adds ``advance_to_next_group``.  ``next``
 returns a row tuple or ``None`` at end of stream.
+
+The columnar engine adds ``next_batch``, returning a
+:class:`~repro.relational.column.Batch` of column vectors (or ``None``
+at end of stream).  ``open``/``close`` are shared between the two
+protocols; a parent must drive each child through exactly *one* of
+``next`` or ``next_batch`` per execution.  The base ``next_batch``
+wraps ``next``, so operators without a native batch implementation
+(the group-aware DGJ family) transparently downgrade their subtree to
+row-at-a-time while the rest of the plan stays batched.
+
+Which protocol the top-level drivers (``run`` and the materializing
+operators' internal drains) use is decided by
+:mod:`repro.relational.runtime` — ``row_mode()`` reproduces the
+pre-refactor reference engine exactly.
 
 Every operator carries a :class:`RowLayout` describing its output
 columns, so expressions are bound once at plan-construction time.
@@ -13,8 +27,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from repro.relational.column import BATCH_SIZE, Batch
 from repro.relational.database import ExecStats
 from repro.relational.expressions import Row, RowLayout
+from repro.relational.runtime import columnar_enabled
 
 
 class Operator:
@@ -36,6 +52,41 @@ class Operator:
     def close(self) -> None:
         raise NotImplementedError
 
+    # -- Batched interface -------------------------------------------------
+    def next_batch(self) -> Optional[Batch]:
+        """Next batch of rows, or None at end of stream.
+
+        Default: accumulate rows from :meth:`next` — the protocol
+        downgrade point for row-only operators.
+        """
+        rows = []
+        while len(rows) < BATCH_SIZE:
+            row = self.next()
+            if row is None:
+                break
+            rows.append(row)
+        if not rows:
+            return None
+        return Batch.from_rows(rows, self.layout.arity)
+
+    def drain_rows(self) -> List[Row]:
+        """Open, drain via the mode-appropriate protocol, close; return
+        all rows as plain tuples.  Used by materializing operators
+        (sort, hash build, nested-loop inner) for their internal drains."""
+        if not columnar_enabled():
+            return list(self)
+        out: List[Row] = []
+        self.open()
+        try:
+            while True:
+                batch = self.next_batch()
+                if batch is None:
+                    break
+                out.extend(batch.to_rows())
+        finally:
+            self.close()
+        return out
+
     # -- Convenience -------------------------------------------------------
     def __iter__(self) -> Iterator[Row]:
         self.open()
@@ -50,7 +101,7 @@ class Operator:
 
     def run(self) -> List[Row]:
         """Open, drain, close; return all rows."""
-        return list(self)
+        return self.drain_rows()
 
     # -- Explain -------------------------------------------------------------
     def describe(self) -> str:

@@ -5,19 +5,27 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.relational.column import Batch
 from repro.relational.database import ExecStats
 from repro.relational.expressions import Expression, Row, RowLayout, is_truthy
 from repro.relational.operators.base import GroupAware, Operator
 
 
 class Filter(Operator):
-    """Keep rows for which the predicate is true (unknown -> dropped)."""
+    """Keep rows for which the predicate is true (unknown -> dropped).
+
+    The batch path evaluates the predicate once per batch to a selection
+    mask and compacts survivors; all-pass batches are forwarded intact
+    (preserving the scan's lowered-text alignment), all-fail batches are
+    skipped without materializing anything.
+    """
 
     def __init__(self, child: Operator, predicate: Expression) -> None:
         super().__init__(child.layout, child.stats)
         self.child = child
         self.predicate = predicate
         self._fn = predicate.bind(child.layout)
+        self._batch_fn = predicate.bind_batch(child.layout)
 
     def open(self) -> None:
         self.child.open()
@@ -29,6 +37,24 @@ class Filter(Operator):
                 return None
             if is_truthy(self._fn(row)):
                 return row
+
+    def next_batch(self) -> Optional[Batch]:
+        while True:
+            batch = self.child.next_batch()
+            if batch is None:
+                return None
+            result = self._batch_fn(batch)
+            if result.kind == "const":
+                if result.data is True:
+                    return batch
+                continue
+            keep = result.as_keep()
+            kept = sum(keep) if isinstance(keep, list) else int(keep.sum())
+            if kept == 0:
+                continue
+            if kept == batch.length:
+                return batch
+            return batch.compact(keep, kept)
 
     def close(self) -> None:
         self.child.close()
@@ -103,6 +129,7 @@ class Project(Operator):
         self.exprs = list(exprs)
         self.names = list(names)
         self._fns = [e.bind(child.layout) for e in exprs]
+        self._batch_fns = [e.bind_batch(child.layout) for e in exprs]
 
     def open(self) -> None:
         self.child.open()
@@ -112,6 +139,13 @@ class Project(Operator):
         if row is None:
             return None
         return tuple(fn(row) for fn in self._fns)
+
+    def next_batch(self) -> Optional[Batch]:
+        batch = self.child.next_batch()
+        if batch is None:
+            return None
+        columns = [fn(batch).as_column() for fn in self._batch_fns]
+        return Batch(columns, batch.length)
 
     def close(self) -> None:
         self.child.close()

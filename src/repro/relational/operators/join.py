@@ -1,17 +1,35 @@
 """Regular join operators: hash join, index nested-loops, block
 nested-loops, and sort-merge — the System-R repertoire the optimizer
-enumerates (Section 5.4.1)."""
+enumerates (Section 5.4.1).
+
+Batch paths: the hash and index joins probe per *outer batch*, gathering
+matching (outer position, inner row) pairs and assembling the combined
+batch with one column gather per side — build order, probe order, and
+residual filtering mirror the row engine exactly, so emission order is
+identical.  Nested-loops stays row-at-a-time (it is the rare theta-join
+fallback); sort-merge materializes anyway, so only its input drains are
+batched.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.relational.column import (
+    HAVE_NUMPY,
+    Batch,
+    is_ndarray,
+    np,
+    take_column,
+    to_pylist,
+)
 from repro.relational.database import ExecStats
 from repro.relational.expressions import Expression, Row, RowLayout, is_truthy
 from repro.relational.index import HashIndex
 from repro.relational.operators.base import Operator
 from repro.relational.operators.scan import table_layout
+from repro.relational.runtime import columnar_enabled
 from repro.relational.table import Table
 
 
@@ -21,6 +39,29 @@ def _key_fn(positions: Sequence[int]):
         return lambda row: row[p]
     ps = tuple(positions)
     return lambda row: tuple(row[p] for p in ps)
+
+
+def _batch_keys(batch: Batch, positions: Sequence[int]) -> list:
+    """Join-key values per batch row, as plain Python scalars/tuples."""
+    if len(positions) == 1:
+        return to_pylist(batch.columns[positions[0]])
+    key_columns = [to_pylist(batch.columns[p]) for p in positions]
+    return list(zip(*key_columns))
+
+
+def _apply_residual(batch: Batch, batch_fn) -> Optional[Batch]:
+    """Filter a joined batch by the residual predicate; None if nothing
+    survives."""
+    result = batch_fn(batch)
+    if result.kind == "const":
+        return batch if result.data is True else None
+    keep = result.as_keep()
+    kept = sum(keep) if isinstance(keep, list) else int(keep.sum())
+    if kept == 0:
+        return None
+    if kept == batch.length:
+        return batch
+    return batch.compact(keep, kept)
 
 
 class HashJoin(Operator):
@@ -40,24 +81,56 @@ class HashJoin(Operator):
         super().__init__(left.layout.concat(right.layout), left.stats)
         self.left = left
         self.right = right
+        self.left_key_positions = tuple(left_key_positions)
         self.left_key = _key_fn(left_key_positions)
         self.right_key = _key_fn(right_key_positions)
         self.residual = residual
         self._residual_fn = residual.bind(self.layout) if residual is not None else None
+        self._residual_batch_fn = (
+            residual.bind_batch(self.layout) if residual is not None else None
+        )
         self._hash: Optional[dict] = None
         self._matches: Optional[Iterator[Row]] = None
         self._outer_row: Optional[Row] = None
+        self._probe_fast = None
 
     def open(self) -> None:
         self._hash = {}
-        for row in self.right:
+        build_side = self.right.drain_rows() if columnar_enabled() else self.right
+        for row in build_side:
             key = self.right_key(row)
             if key is None or (isinstance(key, tuple) and any(k is None for k in key)):
                 continue  # NULL never joins
             self._hash.setdefault(key, []).append(row)
+        self._probe_fast = self._prepare_fast_probe() if columnar_enabled() else None
         self.left.open()
         self._matches = None
         self._outer_row = None
+
+    def _prepare_fast_probe(self):
+        """Sorted-key arrays for a vectorized single-int-key probe.
+
+        Only when every build key is a Python int (bool included —
+        ``hash(True) == hash(1)``, so dict and int64 equality agree)
+        and every bucket holds exactly one row: then each probe value
+        matches at most one inner row, and emitting matches in probe
+        order is exactly the row engine's emission order.  Returns
+        (sorted key array, sorted-pos → build row index, build columns)
+        or None."""
+        if not HAVE_NUMPY or len(self.left_key_positions) != 1 or not self._hash:
+            return None
+        rows = []
+        for key, bucket in self._hash.items():
+            if len(bucket) != 1 or not isinstance(key, int):
+                return None
+            rows.append(bucket[0])
+        try:
+            keys = np.array(list(self._hash), dtype="int64")
+        except OverflowError:
+            return None
+        order = np.argsort(keys, kind="stable")
+        right_columns = [list(col) for col in zip(*rows)]
+        return keys[order], order, right_columns
 
     def next(self) -> Optional[Row]:
         if self._hash is None:
@@ -83,10 +156,60 @@ class HashJoin(Operator):
                 self._outer_row = outer
                 self._matches = iter(bucket)
 
+    def next_batch(self) -> Optional[Batch]:
+        if self._hash is None:
+            raise ExecutionError("HashJoin.next_batch() before open()")
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                return None
+            probe = batch.columns[self.left_key_positions[0]] if batch.columns else None
+            if (
+                self._probe_fast is not None
+                and is_ndarray(probe)
+                and probe.dtype.kind in "ib"
+            ):
+                sorted_keys, order, build_columns = self._probe_fast
+                at = np.minimum(
+                    np.searchsorted(sorted_keys, probe), sorted_keys.size - 1
+                )
+                matched = sorted_keys[at] == probe
+                if not matched.any():
+                    continue
+                out_positions = np.nonzero(matched)[0]
+                inner_at = order[at[matched]].tolist()
+                left_columns = [take_column(col, out_positions) for col in batch.columns]
+                right_columns = [
+                    [col[i] for i in inner_at] for col in build_columns
+                ]
+                combined = Batch(left_columns + right_columns, len(out_positions))
+            else:
+                out_positions = []
+                inner_rows: List[Row] = []
+                get = self._hash.get
+                for i, key in enumerate(_batch_keys(batch, self.left_key_positions)):
+                    bucket = get(key)
+                    if bucket:
+                        for inner in bucket:
+                            out_positions.append(i)
+                            inner_rows.append(inner)
+                if not out_positions:
+                    continue
+                left_columns = [take_column(col, out_positions) for col in batch.columns]
+                right_columns = [list(col) for col in zip(*inner_rows)]
+                combined = Batch(left_columns + right_columns, len(out_positions))
+            if self._residual_batch_fn is not None:
+                combined = _apply_residual(combined, self._residual_batch_fn)
+                if combined is None:
+                    continue
+            self.stats.rows_joined += combined.length
+            return combined
+
     def close(self) -> None:
         self.left.close()
         self._hash = None
         self._matches = None
+        self._probe_fast = None
 
     def describe(self) -> str:
         return "HashJoin"
@@ -116,9 +239,13 @@ class IndexNestedLoopJoin(Operator):
         self.table = table
         self.alias = alias
         self.index = index
+        self.outer_key_positions = tuple(outer_key_positions)
         self.outer_key = _key_fn(outer_key_positions)
         self.residual = residual
         self._residual_fn = residual.bind(self.layout) if residual is not None else None
+        self._residual_batch_fn = (
+            residual.bind_batch(self.layout) if residual is not None else None
+        )
         self._matches: Optional[Iterator[int]] = None
         self._outer_row: Optional[Row] = None
         self._opened = False
@@ -150,6 +277,33 @@ class IndexNestedLoopJoin(Operator):
             self.stats.index_probes += 1
             self._outer_row = outer
             self._matches = iter(self.index.lookup(self.outer_key(outer)))
+
+    def next_batch(self) -> Optional[Batch]:
+        if not self._opened:
+            raise ExecutionError("IndexNestedLoopJoin.next_batch() before open()")
+        lookup = self.index.lookup
+        while True:
+            batch = self.outer.next_batch()
+            if batch is None:
+                return None
+            self.stats.index_probes += batch.length
+            out_positions: List[int] = []
+            inner_positions: List[int] = []
+            for i, key in enumerate(_batch_keys(batch, self.outer_key_positions)):
+                for pos in lookup(key):
+                    out_positions.append(i)
+                    inner_positions.append(pos)
+            if not out_positions:
+                continue
+            outer_columns = [take_column(col, out_positions) for col in batch.columns]
+            inner_columns = self.table.store.take_columns(inner_positions)
+            combined = Batch(outer_columns + inner_columns, len(out_positions))
+            if self._residual_batch_fn is not None:
+                combined = _apply_residual(combined, self._residual_batch_fn)
+                if combined is None:
+                    continue
+            self.stats.rows_joined += combined.length
+            return combined
 
     def close(self) -> None:
         self.outer.close()
@@ -183,7 +337,11 @@ class NestedLoopJoin(Operator):
         self._inner_pos = 0
 
     def open(self) -> None:
-        self._inner_rows = list(self.right)
+        # The probe loop itself stays row-at-a-time (rare theta-join
+        # fallback); only the inner materialization is batched.
+        self._inner_rows = (
+            self.right.drain_rows() if columnar_enabled() else list(self.right)
+        )
         self.left.open()
         self._outer_row = None
         self._inner_pos = 0
@@ -250,8 +408,12 @@ class SortMergeJoin(Operator):
                 return k
             return safe
 
-        left_rows = [r for r in self.left if self.left_key(r) is not None]
-        right_rows = [r for r in self.right if self.right_key(r) is not None]
+        if columnar_enabled():
+            left_rows = [r for r in self.left.drain_rows() if self.left_key(r) is not None]
+            right_rows = [r for r in self.right.drain_rows() if self.right_key(r) is not None]
+        else:
+            left_rows = [r for r in self.left if self.left_key(r) is not None]
+            right_rows = [r for r in self.right if self.right_key(r) is not None]
         left_rows.sort(key=sortable(self.left_key))
         right_rows.sort(key=sortable(self.right_key))
         i = j = 0
@@ -309,6 +471,7 @@ class HashSemiJoin(Operator):
         super().__init__(left.layout, left.stats)
         self.left = left
         self.right = right
+        self.left_key_positions = tuple(left_key_positions)
         self.left_key = _key_fn(left_key_positions)
         self.right_key = _key_fn(right_key_positions)
         self.negated = negated
@@ -316,7 +479,8 @@ class HashSemiJoin(Operator):
 
     def open(self) -> None:
         self._keys = set()
-        for row in self.right:
+        build_side = self.right.drain_rows() if columnar_enabled() else self.right
+        for row in build_side:
             key = self.right_key(row)
             if key is None or (isinstance(key, tuple) and any(k is None for k in key)):
                 continue
@@ -334,6 +498,27 @@ class HashSemiJoin(Operator):
             if found != self.negated:
                 self.stats.rows_joined += 1
                 return row
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._keys is None:
+            raise ExecutionError("HashSemiJoin.next_batch() before open()")
+        keys = self._keys
+        negated = self.negated
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                return None
+            keep = [
+                (key in keys) != negated
+                for key in _batch_keys(batch, self.left_key_positions)
+            ]
+            kept = sum(keep)
+            if kept == 0:
+                continue
+            self.stats.rows_joined += kept
+            if kept == batch.length:
+                return batch
+            return batch.compact(keep, kept)
 
     def close(self) -> None:
         self.left.close()

@@ -1,10 +1,18 @@
-"""Scan operators: sequential, hash-index, and ordered-index scans."""
+"""Scan operators: sequential, hash-index, and ordered-index scans.
+
+Scans are where batches are born: ``next_batch`` slices the table's
+column store directly (zero-copy views for numpy-cached columns) and
+attaches a *lowered-text provider* so a ``Contains`` filter sitting
+directly above the scan can read lowercased TEXT from the table-level
+cache instead of lowering per row.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 from repro.errors import ExecutionError
+from repro.relational.column import BATCH_SIZE, Batch, ColumnStore
 from repro.relational.database import ExecStats
 from repro.relational.expressions import Row, RowLayout
 from repro.relational.index import HashIndex, SortedIndex
@@ -16,6 +24,16 @@ def table_layout(table: Table, alias: str) -> RowLayout:
     return RowLayout([(alias, c.name) for c in table.schema.columns])
 
 
+def _lowered_provider(
+    store: ColumnStore, start: int, stop: int
+) -> Callable[[int], Optional[list]]:
+    def get(position: int) -> Optional[list]:
+        lowered = store.lowered(position)
+        return None if lowered is None else lowered[start:stop]
+
+    return get
+
+
 class SeqScan(Operator):
     """Full scan of a table's heap."""
 
@@ -24,9 +42,11 @@ class SeqScan(Operator):
         self.table = table
         self.alias = alias
         self._iter: Optional[Iterator[Row]] = None
+        self._cursor = 0
 
     def open(self) -> None:
         self._iter = iter(self.table.rows)
+        self._cursor = 0
 
     def next(self) -> Optional[Row]:
         if self._iter is None:
@@ -35,6 +55,22 @@ class SeqScan(Operator):
         if row is not None:
             self.stats.rows_scanned += 1
         return row
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._iter is None:
+            raise ExecutionError("SeqScan.next_batch() before open()")
+        store = self.table.store
+        start = self._cursor
+        if start >= store.length:
+            return None
+        stop = min(start + BATCH_SIZE, store.length)
+        self._cursor = stop
+        self.stats.rows_scanned += stop - start
+        return Batch(
+            store.slice_columns(start, stop),
+            stop - start,
+            lowered=_lowered_provider(store, start, stop),
+        )
 
     def close(self) -> None:
         self._iter = None
@@ -60,10 +96,14 @@ class HashIndexScan(Operator):
         self.index = index
         self.key = key
         self._positions: Optional[Iterator[int]] = None
+        self._position_list: List[int] = []
+        self._batch_done = False
 
     def open(self) -> None:
         self.stats.index_probes += 1
-        self._positions = iter(self.index.lookup(self.key))
+        self._position_list = self.index.lookup(self.key)
+        self._positions = iter(self._position_list)
+        self._batch_done = False
 
     def next(self) -> Optional[Row]:
         if self._positions is None:
@@ -73,6 +113,16 @@ class HashIndexScan(Operator):
             return None
         self.stats.rows_scanned += 1
         return self.table.rows[pos]
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._positions is None:
+            raise ExecutionError("HashIndexScan.next_batch() before open()")
+        if self._batch_done or not self._position_list:
+            return None
+        self._batch_done = True
+        positions = self._position_list
+        self.stats.rows_scanned += len(positions)
+        return Batch(self.table.store.take_columns(positions), len(positions))
 
     def close(self) -> None:
         self._positions = None
@@ -179,14 +229,25 @@ class RowsSource(Operator):
         super().__init__(layout, stats)
         self.rows = rows
         self._iter: Optional[Iterator[Row]] = None
+        self._cursor = 0
 
     def open(self) -> None:
         self._iter = iter(self.rows)
+        self._cursor = 0
 
     def next(self) -> Optional[Row]:
         if self._iter is None:
             raise ExecutionError("RowsSource.next() before open()")
         return next(self._iter, None)
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._iter is None:
+            raise ExecutionError("RowsSource.next_batch() before open()")
+        if self._cursor >= len(self.rows):
+            return None
+        chunk = self.rows[self._cursor : self._cursor + BATCH_SIZE]
+        self._cursor += len(chunk)
+        return Batch.from_rows(chunk, self.layout.arity)
 
     def close(self) -> None:
         self._iter = None

@@ -1,4 +1,10 @@
-"""Sort, top-N, distinct, union, and limit operators."""
+"""Sort, top-N, distinct, union, and limit operators.
+
+Sorting is inherently row-ordered, so the batch path batches the
+*drains*: inputs are consumed via ``next_batch`` and the ordered output
+is re-emitted in column chunks.  Distinct and limit operate directly on
+batches.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +13,18 @@ import itertools
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.relational.column import (
+    BATCH_SIZE,
+    HAVE_NUMPY,
+    Batch,
+    is_ndarray,
+    np,
+    to_pylist,
+)
 from repro.relational.database import ExecStats
 from repro.relational.expressions import Expression, Row, RowLayout
 from repro.relational.operators.base import Operator
+from repro.relational.runtime import columnar_enabled
 
 # A sort key: (expression, descending?)
 SortKey = Tuple[Expression, bool]
@@ -64,6 +79,102 @@ def _make_sort_key(keys: Sequence[SortKey], layout: RowLayout):
     return key
 
 
+def _drain_concat(child: Operator, arity: int) -> Batch:
+    """Open, drain via ``next_batch``, close; all rows as ONE batch.
+
+    Column-wise concatenation: a position stays numpy-backed only when
+    every input chunk is (scan-fresh chunks are consistently one kind,
+    but a union of heterogeneous children may mix)."""
+    pieces: List[Batch] = []
+    child.open()
+    try:
+        while True:
+            batch = child.next_batch()
+            if batch is None:
+                break
+            if batch.length:
+                pieces.append(batch)
+    finally:
+        child.close()
+    if not pieces:
+        return Batch([[] for _ in range(arity)], 0)
+    if len(pieces) == 1:
+        return pieces[0]
+    columns = []
+    for position in range(arity):
+        parts = [piece.columns[position] for piece in pieces]
+        if HAVE_NUMPY and all(is_ndarray(p) for p in parts):
+            columns.append(np.concatenate(parts))
+        else:
+            merged: list = []
+            for p in parts:
+                merged.extend(to_pylist(p))
+            columns.append(merged)
+    return Batch(columns, sum(piece.length for piece in pieces))
+
+
+def _numeric_key_vector(values: list, desc: bool):
+    """``values`` as an ascending-comparable key list, or None."""
+    for v in values:
+        t = type(v)
+        if t is not int and t is not float and t is not bool:
+            return None
+        if v != v:  # NaN: comparison sorts are unspecified on it
+            return None
+    return [-v for v in values] if desc else values
+
+
+def _fast_order(keys: Sequence[SortKey], layout: RowLayout, batch: Batch):
+    """Stable ordering permutation identical to sorting with
+    ``_OrderWrapper`` keys, computed columnar — or None when identity
+    cannot be proven and the caller must fall back to the wrapper.
+
+    Eligible keys contain no NULL/unknown and no NaN, and are either
+    all-numeric (bool/int/float; DESC is handled by negation, which is
+    exact for Python ints and order-reversing for finite floats) or
+    all-``str`` ascending.  Equal keys preserve input order in both
+    paths (Python sorts and numpy's stable argsort/lexsort), so the
+    permutation matches the row engine's stable wrapper sort even on
+    ties."""
+    vectors = []
+    all_np = HAVE_NUMPY
+    for expr, desc in keys:
+        values = expr.bind_batch(layout)(batch)
+        if values.kind == "np":
+            arr = values.data
+            if arr.dtype.kind == "f" and bool(np.isnan(arr).any()):
+                return None
+            if desc:
+                if arr.dtype.kind == "b":
+                    arr = np.logical_not(arr)
+                elif arr.dtype.kind == "i":
+                    if arr.size and int(arr.min()) == np.iinfo(arr.dtype).min:
+                        return None  # negation would overflow
+                    arr = -arr
+                else:
+                    arr = -arr
+            vectors.append(arr)
+            continue
+        all_np = False
+        plain = values.pylist()
+        vector = _numeric_key_vector(plain, desc)
+        if vector is None:
+            if desc or not all(type(v) is str for v in plain):
+                return None
+            vector = plain
+        vectors.append(vector)
+    if all_np:
+        if len(vectors) == 1:
+            return np.argsort(vectors[0], kind="stable")
+        return np.lexsort(tuple(reversed(vectors)))
+    lists = [to_pylist(v) if is_ndarray(v) else v for v in vectors]
+    if len(lists) == 1:
+        key_of = lists[0]
+    else:
+        key_of = list(zip(*lists))
+    return sorted(range(batch.length), key=key_of.__getitem__)
+
+
 class Sort(Operator):
     """Full materializing sort."""
 
@@ -73,19 +184,42 @@ class Sort(Operator):
         self.keys = list(keys)
         self._key_fn = _make_sort_key(self.keys, child.layout)
         self._iter: Optional[Iterator[Row]] = None
+        self._rows: Optional[List[Row]] = None
+        self._cursor = 0
 
     def open(self) -> None:
-        rows = list(self.child)
-        rows.sort(key=self._key_fn)
+        if columnar_enabled():
+            batch = _drain_concat(self.child, self.layout.arity)
+            order = _fast_order(self.keys, self.child.layout, batch)
+            if order is not None:
+                rows = batch.take(order).to_rows()
+            else:
+                rows = batch.to_rows()
+                rows.sort(key=self._key_fn)
+        else:
+            rows = list(self.child)
+            rows.sort(key=self._key_fn)
+        self._rows = rows
         self._iter = iter(rows)
+        self._cursor = 0
 
     def next(self) -> Optional[Row]:
         if self._iter is None:
             raise ExecutionError("Sort.next() before open()")
         return next(self._iter, None)
 
+    def next_batch(self) -> Optional[Batch]:
+        if self._rows is None:
+            raise ExecutionError("Sort.next_batch() before open()")
+        if self._cursor >= len(self._rows):
+            return None
+        chunk = self._rows[self._cursor : self._cursor + BATCH_SIZE]
+        self._cursor += len(chunk)
+        return Batch.from_rows(chunk, self.layout.arity)
+
     def close(self) -> None:
         self._iter = None
+        self._rows = None
 
     def describe(self) -> str:
         return f"Sort({len(self.keys)} keys)"
@@ -106,25 +240,50 @@ class TopN(Operator):
         self.n = n
         self._key_fn = _make_sort_key(self.keys, child.layout)
         self._iter: Optional[Iterator[Row]] = None
+        self._rows: Optional[List[Row]] = None
+        self._cursor = 0
 
     def open(self) -> None:
+        self._cursor = 0
         if self.n == 0:
+            self._rows = []
             self._iter = iter(())
             return
+        if columnar_enabled():
+            batch = _drain_concat(self.child, self.layout.arity)
+            order = _fast_order(self.keys, self.child.layout, batch)
+            if order is not None:
+                # nsmallest keyed on (key, input index) is exactly the
+                # first n of the stable ascending sort.
+                self._rows = batch.take(list(order[: self.n])).to_rows()
+                self._iter = iter(self._rows)
+                return
+            rows = batch.to_rows()
+        else:
+            rows = list(self.child)
         counter = itertools.count()
-        heap: List[Tuple[Any, int, Row]] = []
-        rows = list(self.child)
         decorated = [(self._key_fn(row), next(counter), row) for row in rows]
         smallest = heapq.nsmallest(self.n, decorated, key=lambda t: (t[0], t[1]))
-        self._iter = iter([row for _, _, row in smallest])
+        self._rows = [row for _, _, row in smallest]
+        self._iter = iter(self._rows)
 
     def next(self) -> Optional[Row]:
         if self._iter is None:
             raise ExecutionError("TopN.next() before open()")
         return next(self._iter, None)
 
+    def next_batch(self) -> Optional[Batch]:
+        if self._rows is None:
+            raise ExecutionError("TopN.next_batch() before open()")
+        if self._cursor >= len(self._rows):
+            return None
+        chunk = self._rows[self._cursor : self._cursor + BATCH_SIZE]
+        self._cursor += len(chunk)
+        return Batch.from_rows(chunk, self.layout.arity)
+
     def close(self) -> None:
         self._iter = None
+        self._rows = None
 
     def describe(self) -> str:
         return f"TopN(n={self.n})"
@@ -156,6 +315,77 @@ class Distinct(Operator):
             if row not in self._seen:
                 self._seen.add(row)
                 return row
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._seen is None:
+            raise ExecutionError("Distinct.next_batch() before open()")
+        seen = self._seen
+        while True:
+            batch = self.child.next_batch()
+            if batch is None:
+                return None
+            if len(batch.columns) == 1:
+                result = self._distinct_single(batch, seen)
+                if result is None:
+                    continue
+                return result
+            keep: List[bool] = []
+            fresh = 0
+            for row in batch.to_rows():
+                if row in seen:
+                    keep.append(False)
+                else:
+                    seen.add(row)
+                    keep.append(True)
+                    fresh += 1
+            if fresh == 0:
+                continue
+            if fresh == batch.length:
+                return batch
+            return batch.compact(keep, fresh)
+
+    @staticmethod
+    def _distinct_single(batch: Batch, seen: set) -> Optional[Batch]:
+        """Arity-1 fast path: dedup on scalars, no row tuples.
+
+        ``seen`` holds 1-tuples on the row path and bare scalars here;
+        the set is private to one execution and the two paths are never
+        mixed within one, so the representations cannot collide.  NaN
+        floats fall back to the scalar loop (never the numpy unique,
+        which collapses distinct NaN objects where ``set`` keeps them).
+        """
+        col = batch.columns[0]
+        if is_ndarray(col) and not (
+            col.dtype.kind == "f" and bool(np.isnan(col).any())
+        ):
+            # First-occurrence index per unique value, emitted in input
+            # order — identical to the row-at-a-time seen-set semantics.
+            unique, first_at = np.unique(col, return_index=True)
+            fresh_at = sorted(
+                int(i)
+                for v, i in zip(unique.tolist(), first_at.tolist())
+                if v not in seen
+            )
+            if not fresh_at:
+                return None
+            seen.update(col[fresh_at].tolist())
+            if len(fresh_at) == batch.length:
+                return batch
+            return batch.take(fresh_at)
+        keep: List[bool] = []
+        fresh = 0
+        for value in to_pylist(col):
+            if value in seen:
+                keep.append(False)
+            else:
+                seen.add(value)
+                keep.append(True)
+                fresh += 1
+        if fresh == 0:
+            return None
+        if fresh == batch.length:
+            return batch
+        return batch.compact(keep, fresh)
 
     def close(self) -> None:
         self.child.close()
@@ -202,6 +432,19 @@ class UnionAll(Operator):
                 self._children[self._current].open()
         return None
 
+    def next_batch(self) -> Optional[Batch]:
+        if not self._opened:
+            raise ExecutionError("UnionAll.next_batch() before open()")
+        while self._current < len(self._children):
+            batch = self._children[self._current].next_batch()
+            if batch is not None:
+                return batch
+            self._children[self._current].close()
+            self._current += 1
+            if self._current < len(self._children):
+                self._children[self._current].open()
+        return None
+
     def close(self) -> None:
         if self._opened and self._current < len(self._children):
             self._children[self._current].close()
@@ -214,8 +457,25 @@ class UnionAll(Operator):
         return list(self._children)
 
 
+# Below this cutoff ``Limit.next_batch`` pulls single rows from its
+# child instead of whole batches.  A batch pipeline drains BATCH_SIZE
+# rows through every operator before a LIMIT can stop it, so a tiny
+# LIMIT over a streaming subtree pays for thousands of rows it then
+# discards (the topology layer's EXISTS-style ``LIMIT 1`` probes are
+# the extreme case).  Row-pulling propagates early termination down the
+# whole streaming spine, while blocking operators underneath (Sort,
+# TopN, hash builds) still materialize vectorized inside ``open()``.
+LIMIT_ROW_PULL_MAX = 64
+
+
 class Limit(Operator):
-    """FETCH FIRST n ROWS ONLY without ordering."""
+    """FETCH FIRST n ROWS ONLY without ordering.
+
+    In batch mode a small ``n`` (<= ``LIMIT_ROW_PULL_MAX``) switches to
+    the row protocol internally — see :data:`LIMIT_ROW_PULL_MAX`.  The
+    child sees exactly one protocol per execution either way, so
+    operators with protocol-specific internal state never observe a mix.
+    """
 
     def __init__(self, child: Operator, n: int) -> None:
         if n < 0:
@@ -237,6 +497,30 @@ class Limit(Operator):
             return None
         self._emitted += 1
         return row
+
+    def next_batch(self) -> Optional[Batch]:
+        if self._emitted >= self.n:
+            return None
+        if self.n <= LIMIT_ROW_PULL_MAX:
+            rows = []
+            while self._emitted < self.n:
+                row = self.child.next()
+                if row is None:
+                    break
+                rows.append(row)
+                self._emitted += 1
+            if not rows:
+                return None
+            return Batch.from_rows(rows, self.layout.arity)
+        batch = self.child.next_batch()
+        if batch is None:
+            return None
+        remaining = self.n - self._emitted
+        if batch.length <= remaining:
+            self._emitted += batch.length
+            return batch
+        self._emitted = self.n
+        return Batch([col[:remaining] for col in batch.columns], remaining)
 
     def close(self) -> None:
         self.child.close()

@@ -1,0 +1,82 @@
+"""Execution-mode switch: columnar (default) vs. reference row engine.
+
+The columnar refactor keeps the original Volcano row-at-a-time operator
+implementations intact as a *reference engine*: every operator still has
+its pre-refactor ``next()`` method, and the batched fast path lives in
+``next_batch()``.  Which one drives an execution is decided here, at the
+top-level entry points (``Operator.run``, the internal drains of
+materializing operators, and the SQL engine's statement cache), never
+inside the per-row hot loops.
+
+The differential test harness (``tests/difftest``) relies on this: it
+runs the same plans once under :func:`row_mode` and once under the
+default columnar mode and asserts bit-identical results.  The reference
+path is also what ``benchmarks/bench_columnar.py`` measures the >=10x
+speedup floor against — in row mode the engine behaves exactly like the
+pre-refactor engine, including the absence of the prepared-statement
+cache.
+
+The flag is a thread-local override over a process-wide default, so a
+difftest can pin one thread to the row engine while server threads keep
+serving columnar, and so ``REPRO_EXECUTION_MODE=row`` can force the
+reference engine for a whole run (used by CI to cross-check).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator
+
+_VALID_MODES = ("columnar", "row")
+
+_default_mode = os.environ.get("REPRO_EXECUTION_MODE", "columnar").lower()
+if _default_mode not in _VALID_MODES:  # pragma: no cover - env misuse
+    raise ValueError(
+        f"REPRO_EXECUTION_MODE must be one of {_VALID_MODES}, got {_default_mode!r}"
+    )
+
+_local = threading.local()
+
+
+def execution_mode() -> str:
+    """The mode driving executions on this thread."""
+    return getattr(_local, "mode", _default_mode)
+
+
+def columnar_enabled() -> bool:
+    return execution_mode() == "columnar"
+
+
+def set_default_mode(mode: str) -> None:
+    """Set the process-wide default (threads without an override)."""
+    if mode not in _VALID_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}")
+    global _default_mode
+    _default_mode = mode
+
+
+@contextlib.contextmanager
+def mode(name: str) -> Iterator[None]:
+    """Thread-local execution-mode override for a ``with`` block."""
+    if name not in _VALID_MODES:
+        raise ValueError(f"unknown execution mode {name!r}")
+    previous = getattr(_local, "mode", None)
+    _local.mode = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            del _local.mode
+        else:
+            _local.mode = previous
+
+
+def row_mode() -> "contextlib._GeneratorContextManager":
+    """The retained pre-refactor row-at-a-time reference engine."""
+    return mode("row")
+
+
+def columnar_mode() -> "contextlib._GeneratorContextManager":
+    return mode("columnar")

@@ -15,8 +15,10 @@ The pipeline for one statement:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SqlBindError, SqlError
 from repro.relational.database import Database
@@ -55,6 +57,7 @@ from repro.relational.operators import (
 )
 from repro.relational.optimizer.logical import SPJBlock, build_block
 from repro.relational.optimizer.system_r import OrderSpec, PhysicalCandidate, SystemROptimizer
+from repro.relational.runtime import columnar_enabled
 from repro.relational.sql.ast import ExistsExpr, OrderItem, Query, SelectCore, SelectItem
 from repro.relational.sql.parser import parse
 from repro.relational.statistics import StatsCatalog
@@ -80,6 +83,38 @@ class QueryResult:
     def column(self, name: str) -> List[Any]:
         idx = [c.lower() for c in self.columns].index(name.lower())
         return [row[idx] for row in self.rows]
+
+
+@dataclass
+class PreparedPlan:
+    """A parsed, bound, and optimized statement, ready to execute.
+
+    ``build()`` assembles a *fresh* operator tree each call, so one
+    prepared plan may be executed concurrently from many threads: every
+    execution gets its own operator state, and the builders resolve
+    ``Database.stats`` at build time, crediting work to the executing
+    thread's counters.  Everything expensive (parsing, binding, the
+    System-R enumeration) happened at prepare time; ``build()`` only
+    replays the cheap physical-operator construction.  Uncorrelated
+    EXISTS subqueries are deliberately (re)evaluated inside ``build()``
+    so repeated executions behave exactly like repeated plannings.
+    """
+
+    columns: List[str]
+    build: Callable[[], Operator]
+
+    def run(self) -> List[Row]:
+        return self.build().run()
+
+
+@dataclass
+class _PreparedCore:
+    """One SELECT core's replayable pieces (pre-projection)."""
+
+    build: Callable[[], Operator]
+    entries: List[Tuple[str, str]]
+    exprs: List[Expression]
+    delivered: Optional[OrderSpec]
 
 
 def _rewrite(expr: Expression, fn) -> Expression:
@@ -181,16 +216,15 @@ class Planner:
     # ------------------------------------------------------------------
     # Core planning
     # ------------------------------------------------------------------
-    def _plan_core(
+    def _prepare_core(
         self,
         core: SelectCore,
         desired_order: Optional[OrderSpec] = None,
-    ) -> Tuple[Operator, List[Tuple[str, str]], List[Expression], Optional[OrderSpec]]:
-        """Plan one SELECT core.
-
-        Returns (operator *before projection*, projected entries as
-        (alias, name), projected expressions, the block order actually
-        delivered)."""
+    ) -> _PreparedCore:
+        """Bind and optimize one SELECT core, returning a replayable
+        builder for the operator tree *before projection* plus the
+        projected (alias, name) entries, projected expressions, and the
+        block order the chosen plan delivers."""
         alias_schemas = self._alias_schemas(core)
         conjuncts: List[Expression] = []
         exists_nodes: List[ExistsExpr] = []
@@ -207,13 +241,21 @@ class Planner:
             conjuncts,
         )
         candidate = self.optimizer.optimize(block, desired_order=desired_order)
-        op = candidate.build()
-        delivered = candidate.order
-        for exists in exists_nodes:
-            op = self._apply_exists(op, exists, alias_schemas)
+        appliers = [
+            self._prepare_exists(exists, alias_schemas) for exists in exists_nodes
+        ]
+        # Probe build purely for the layout (operator construction has
+        # no side effects); EXISTS appliers never change the layout.
+        layout = candidate.build().layout
+        entries, exprs = self._projection(core, layout, alias_schemas)
 
-        entries, exprs = self._projection(core, op.layout, alias_schemas)
-        return op, entries, exprs, delivered
+        def build_core() -> Operator:
+            op = candidate.build()
+            for applier in appliers:
+                op = applier(op)
+            return op
+
+        return _PreparedCore(build_core, entries, exprs, candidate.order)
 
     def _projection(
         self,
@@ -243,12 +285,14 @@ class Planner:
             raise SqlError("empty select list")
         return entries, exprs
 
-    def _apply_exists(
+    def _prepare_exists(
         self,
-        op: Operator,
         exists: ExistsExpr,
         outer_schemas: Dict[str, Any],
-    ) -> Operator:
+    ) -> Callable[[Operator], Operator]:
+        """Bind and optimize one ``[NOT] EXISTS`` conjunct, returning an
+        applier that wraps the per-execution decorrelation around a
+        freshly built outer operator tree."""
         sub = exists.subquery
         sub_schemas = self._alias_schemas(sub)
         overlap = set(sub_schemas) & set(outer_schemas)
@@ -281,22 +325,34 @@ class Planner:
 
         sub_block = build_block([(t.table, t.alias) for t in sub.tables], local)
         sub_candidate = self.optimizer.optimize(sub_block)
+        negated = exists.negated
 
         if not corr:
-            # Uncorrelated: evaluate once; the result is a constant.
-            sub_op = Limit(sub_candidate.build(), 1)
-            self.database.stats.subqueries_run += 1
-            non_empty = bool(sub_op.run())
-            keep = non_empty != exists.negated
-            if keep:
-                return op
-            return RowsSource([], op.layout, self.database.stats)
+            # Uncorrelated: evaluated per execution (the result is a
+            # constant for that execution, so the whole outer tree is
+            # either kept or replaced by an empty source).
+            def apply_uncorrelated(op: Operator) -> Operator:
+                sub_op = Limit(sub_candidate.build(), 1)
+                self.database.stats.subqueries_run += 1
+                non_empty = bool(sub_op.run())
+                if non_empty != negated:
+                    return op
+                return RowsSource([], op.layout, self.database.stats)
 
-        sub_op = sub_candidate.build()
-        left_positions = [op.layout.position(o.qualifier, o.name) for o, _ in corr]
-        right_positions = [sub_op.layout.position(i.qualifier, i.name) for _, i in corr]
-        self.database.stats.subqueries_run += 1
-        return HashSemiJoin(op, sub_op, left_positions, right_positions, exists.negated)
+            return apply_uncorrelated
+
+        def apply_correlated(op: Operator) -> Operator:
+            sub_op = sub_candidate.build()
+            left_positions = [
+                op.layout.position(o.qualifier, o.name) for o, _ in corr
+            ]
+            right_positions = [
+                sub_op.layout.position(i.qualifier, i.name) for _, i in corr
+            ]
+            self.database.stats.subqueries_run += 1
+            return HashSemiJoin(op, sub_op, left_positions, right_positions, negated)
+
+        return apply_correlated
 
     # ------------------------------------------------------------------
     # Statement planning
@@ -304,44 +360,60 @@ class Planner:
     def plan(self, query: Query) -> Tuple[Operator, List[str]]:
         """Build the executable operator tree; returns (plan, column
         names)."""
+        prepared = self.prepare(query)
+        return prepared.build(), prepared.columns
+
+    def prepare(self, query: Query) -> PreparedPlan:
+        """Bind and optimize a statement once; the returned
+        :class:`PreparedPlan` builds fresh executable trees on demand."""
         single = len(query.cores) == 1
         desired = self._desired_order(query) if single else None
 
-        planned_cores = []
-        for core in query.cores:
-            op, entries, exprs, delivered = self._plan_core(
+        prepared_cores = [
+            self._prepare_core(
                 core, desired_order=desired if core is query.cores[0] else None
             )
-            planned_cores.append((core, op, entries, exprs, delivered))
-
-        first_entries = planned_cores[0][2]
+            for core in query.cores
+        ]
+        first_entries = prepared_cores[0].entries
         columns = [name for _, name in first_entries]
 
         if single:
-            core, op, entries, exprs, delivered = planned_cores[0]
-            return self._assemble_single(query, core, op, entries, exprs, delivered), columns
+            pc = prepared_cores[0]
+            core = query.cores[0]
+
+            def build_single() -> Operator:
+                return self._assemble_single(
+                    query, core, pc.build(), pc.entries, pc.exprs, pc.delivered
+                )
+
+            return PreparedPlan(columns, build_single)
 
         # UNION: project every core to the first core's arity.
-        projected: List[Operator] = []
         arity = len(first_entries)
-        for core, op, entries, exprs, _ in planned_cores:
-            if len(exprs) != arity:
+        for pc in prepared_cores:
+            if len(pc.exprs) != arity:
                 raise SqlError("UNION inputs must have the same number of columns")
-            projected.append(
-                Project(op, exprs, [n for _, n in first_entries], alias="")
-            )
-        combined: Operator = UnionAll(projected)
-        if not query.union_all:
-            combined = Distinct(combined)
-        out_layout = combined.layout
-        if query.order_by:
-            keys = self._order_keys(query.order_by, out_layout)
+        names = [n for _, n in first_entries]
+
+        def build_union() -> Operator:
+            projected = [
+                Project(pc.build(), pc.exprs, names, alias="")
+                for pc in prepared_cores
+            ]
+            combined: Operator = UnionAll(projected)
+            if not query.union_all:
+                combined = Distinct(combined)
+            if query.order_by:
+                keys = self._order_keys(query.order_by, combined.layout)
+                if query.fetch_first is not None:
+                    return TopN(combined, keys, query.fetch_first)
+                return Sort(combined, keys)
             if query.fetch_first is not None:
-                return TopN(combined, keys, query.fetch_first), columns
-            return Sort(combined, keys), columns
-        if query.fetch_first is not None:
-            return Limit(combined, query.fetch_first), columns
-        return combined, columns
+                return Limit(combined, query.fetch_first)
+            return combined
+
+        return PreparedPlan(columns, build_union)
 
     def _assemble_single(
         self,
@@ -466,6 +538,10 @@ def _contains_exists(expr: Expression) -> bool:
     return False
 
 
+#: Bound on the number of prepared statements an Engine retains.
+PLAN_CACHE_SIZE = 256
+
+
 class Engine:
     """Top-level query interface over a :class:`Database`.
 
@@ -473,22 +549,75 @@ class Engine:
     >>> result = engine.execute("SELECT id FROM protein WHERE id = 32")
     >>> result.rows
     [(32,)]
+
+    Repeated statements hit a prepared-statement cache keyed by the SQL
+    text and parameter bindings.  Every entry is validated against
+    :meth:`Database.change_token` before reuse, so any table create/drop
+    or data change invalidates it — a cached plan can never bind to a
+    stale catalog or skip re-running an uncorrelated EXISTS against
+    changed data.  The cache only serves the batched columnar execution
+    mode; in row mode (:func:`repro.relational.runtime.row_mode`) every
+    statement is re-planned from scratch, preserving the reference
+    engine's exact pre-cache behavior for differential testing.
     """
 
     def __init__(self, database: Database, stats: Optional[StatsCatalog] = None) -> None:
         self.database = database
         self.stats = stats if stats is not None else StatsCatalog(database)
         self.planner = Planner(database, self.stats)
+        self._plan_cache: "OrderedDict[Tuple, Tuple[Tuple, PreparedPlan]]" = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def refresh_statistics(self) -> None:
         self.stats.refresh()
 
+    def clear_plan_cache(self) -> None:
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
+
+    @staticmethod
+    def _cache_key(sql: str, params: Optional[Dict[str, Any]]) -> Optional[Tuple]:
+        if not params:
+            return (sql, None)
+        try:
+            return (sql, tuple(sorted(params.items())))
+        except TypeError:
+            return None  # unhashable/unorderable bindings: skip the cache
+
+    def _prepared(self, sql: str, params: Optional[Dict[str, Any]]) -> PreparedPlan:
+        key = self._cache_key(sql, params)
+        # Token captured *before* planning: if data changes while we
+        # plan, the entry is cached under the old token and fails
+        # revalidation next time — stale in the safe direction.
+        token = self.database.change_token()
+        if key is not None:
+            with self._plan_cache_lock:
+                entry = self._plan_cache.get(key)
+                if entry is not None and entry[0] == token:
+                    self._plan_cache.move_to_end(key)
+                    self.plan_cache_hits += 1
+                    return entry[1]
+        prepared = self.planner.prepare(parse(sql, params))
+        if key is not None:
+            with self._plan_cache_lock:
+                self.plan_cache_misses += 1
+                self._plan_cache[key] = (token, prepared)
+                self._plan_cache.move_to_end(key)
+                while len(self._plan_cache) > PLAN_CACHE_SIZE:
+                    self._plan_cache.popitem(last=False)
+        return prepared
+
     def execute(self, sql: str, params: Optional[Dict[str, Any]] = None) -> QueryResult:
-        query = parse(sql, params)
-        plan, columns = self.planner.plan(query)
+        if columnar_enabled():
+            prepared = self._prepared(sql, params)
+        else:
+            prepared = self.planner.prepare(parse(sql, params))
+        plan = prepared.build()
         rows = plan.run()
         self.database.stats.rows_emitted += len(rows)
-        return QueryResult(columns, rows)
+        return QueryResult(list(prepared.columns), rows)
 
     def explain(self, sql: str, params: Optional[Dict[str, Any]] = None) -> str:
         query = parse(sql, params)

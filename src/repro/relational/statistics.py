@@ -94,27 +94,33 @@ class TableStats:
 
 
 def collect_table_stats(table: Table, index_keywords: bool = True) -> TableStats:
-    """One pass over the table computing all column statistics.
+    """One pass per column computing all column statistics.
+
+    Column-major over the table's column store — each column's values
+    are contiguous, so the aggregation loop touches one list at a time
+    instead of re-indexing every row tuple.  Deliberately pure Python
+    (no numpy) even for numeric columns: statistics feed the optimizer,
+    and plan choices must be identical whether or not numpy is
+    installed, or unordered query results could legally differ between
+    the two configurations.
 
     ``index_keywords`` additionally builds word-level document
     frequencies for text columns (bounded by
     :data:`MAX_TRACKED_KEYWORDS` per column).
     """
     stats = TableStats(row_count=table.row_count)
-    positions = [(c.name.lower(), i) for i, c in enumerate(table.schema.columns)]
-    distinct: Dict[str, set] = {name: set() for name, _ in positions}
     keyword_counts: Dict[str, Dict[str, int]] = {}
-    for name, _ in positions:
-        stats.columns[name] = ColumnStats(row_count=table.row_count)
 
-    for row in table.rows:
-        for name, i in positions:
-            value = row[i]
-            col = stats.columns[name]
+    for column, values in zip(table.schema.columns, table.store.columns):
+        name = column.name.lower()
+        col = ColumnStats(row_count=table.row_count)
+        stats.columns[name] = col
+        distinct: set = set()
+        for value in values:
             if value is None:
                 col.null_count += 1
                 continue
-            distinct[name].add(value)
+            distinct.add(value)
             if not isinstance(value, str):
                 if col.min_value is None or value < col.min_value:
                     col.min_value = value
@@ -127,9 +133,8 @@ def collect_table_stats(table: Table, index_keywords: bool = True) -> TableStats
                         word = word.strip(".,;:()[]")
                         if word:
                             words[word] = words.get(word, 0) + 1
+        col.n_distinct = len(distinct)
 
-    for name, values in distinct.items():
-        stats.columns[name].n_distinct = len(values)
     if table.row_count:
         for name, words in keyword_counts.items():
             for word, count in words.items():

@@ -1,10 +1,11 @@
-"""In-memory tables: tuple rows plus maintained secondary indexes."""
+"""In-memory tables: columnar storage behind a row-facing facade."""
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CatalogError, SchemaError
+from repro.relational.column import ColumnStore, RowsView
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.schema import TableSchema
 
@@ -12,7 +13,15 @@ Row = Tuple[Any, ...]
 
 
 class Table:
-    """A heap of tuples with optional hash and sorted indexes.
+    """A table of tuples with optional hash and sorted indexes.
+
+    Storage is array-of-columns (:class:`~repro.relational.column.ColumnStore`)
+    so batched operators can evaluate predicates over whole column
+    vectors; ``table.rows`` remains the row-facing adapter every
+    pre-columnar consumer (snapshots, scans, tests) still reads — a
+    :class:`~repro.relational.column.RowsView` that builds tuples on
+    demand and supports iteration, indexing, and equality exactly like
+    the list of tuples it replaced.
 
     Rows are append-only (the Biozon workload is bulk-loaded; Section 3.2
     notes updates happen offline in bulk, at which point derived tables
@@ -22,7 +31,8 @@ class Table:
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
-        self.rows: List[Row] = []
+        self.store = ColumnStore([c.dtype for c in schema.columns])
+        self.rows = RowsView(self.store)
         self._hash_indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
         if schema.primary_key is not None:
@@ -36,7 +46,7 @@ class Table:
             raise CatalogError(f"index {name!r} already exists on {self.schema.name!r}")
         positions = [self.schema.column_position(c) for c in columns]
         index = HashIndex(name, positions)
-        index.bulk_build(self.rows)
+        index.bulk_build_columns(self.store)
         self._hash_indexes[name] = index
         return index
 
@@ -44,7 +54,7 @@ class Table:
         if name in self._hash_indexes or name in self._sorted_indexes:
             raise CatalogError(f"index {name!r} already exists on {self.schema.name!r}")
         index = SortedIndex(name, self.schema.column_position(column))
-        index.bulk_build(self.rows)
+        index.bulk_build_columns(self.store)
         self._sorted_indexes[name] = index
         return index
 
@@ -87,8 +97,8 @@ class Table:
                     f"duplicate primary key {pk_index.key_of(row)!r} in "
                     f"{self.schema.name!r}"
                 )
-        position = len(self.rows)
-        self.rows.append(row)
+        position = self.store.length
+        self.store.append_row(row)
         for index in self._hash_indexes.values():
             index.insert(row, position)
         for index in self._sorted_indexes.values():
@@ -107,7 +117,7 @@ class Table:
         finally:
             self._sorted_indexes = sorted_backups
             for index in self._sorted_indexes.values():
-                index.bulk_build(self.rows)
+                index.bulk_build_columns(self.store)
         return count
 
     def load_rows_unchecked(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -118,17 +128,16 @@ class Table:
         same schema when they were first inserted, so re-checking them on
         load only slows the cold start down.  Returns the rows appended.
         """
-        base = len(self.rows)
-        self.rows.extend(row if type(row) is tuple else tuple(row) for row in rows)
-        count = len(self.rows) - base
+        base = self.store.length
+        count = self.store.extend_rows(rows)
         for index in self._hash_indexes.values():
             if base == 0:
-                index.bulk_build(self.rows)
+                index.bulk_build_columns(self.store)
             else:
-                for position in range(base, len(self.rows)):
-                    index.insert(self.rows[position], position)
+                for position in range(base, self.store.length):
+                    index.insert(self.store.row_at(position), position)
         for index in self._sorted_indexes.values():
-            index.bulk_build(self.rows)
+            index.bulk_build_columns(self.store)
         return count
 
     def index_definitions(self) -> Dict[str, List[Tuple[str, List[str]]]]:
@@ -148,26 +157,31 @@ class Table:
 
     @property
     def row_count(self) -> int:
-        return len(self.rows)
+        return self.store.length
+
+    @property
+    def data_version(self) -> int:
+        """Bumped on every data change; feeds statement-cache tokens."""
+        return self.store.version
 
     def scan(self) -> Iterator[Row]:
         return iter(self.rows)
 
     def row_at(self, position: int) -> Row:
-        return self.rows[position]
+        return self.store.row_at(position)
 
     def get_by_key(self, key: Any) -> List[Row]:
         """Primary-key lookup (requires a declared primary key)."""
         if self.schema.primary_key is None:
             raise CatalogError(f"table {self.schema.name!r} has no primary key")
-        return [self.rows[p] for p in self._hash_indexes["pk"].lookup(key)]
+        return [self.store.row_at(p) for p in self._hash_indexes["pk"].lookup(key)]
 
     def estimated_bytes(self) -> int:
         """Rough storage footprint used by the Table-1 space accounting:
         fixed 8 bytes per numeric/bool cell, string length for text."""
         total = 0
-        for row in self.rows:
-            for value in row:
+        for values in self.store.columns:
+            for value in values:
                 if isinstance(value, str):
                     total += len(value)
                 else:

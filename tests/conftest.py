@@ -13,6 +13,25 @@ from repro.core import TopologySearchSystem
 from repro.graph import LabeledGraph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--difftest-seeds",
+        type=int,
+        default=5,
+        help=(
+            "number of random seeds the differential row-vs-columnar "
+            "tests sweep (tests/relational/test_columnar_equivalence.py); "
+            "CI's nightly-style step raises this to 25+"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def difftest_seeds(request):
+    """Seed list for the differential tests, sized from the CLI."""
+    return list(range(request.config.getoption("--difftest-seeds")))
+
+
 @pytest.fixture(scope="session")
 def fig3_db():
     return build_figure3_database()

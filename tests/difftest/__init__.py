@@ -1,0 +1,19 @@
+"""Differential testing support: seeded random workload generation.
+
+The columnar execution engine (PR: vectorized columnar relational
+engine) is proven bit-identical to the retained row-at-a-time reference
+engine by running randomly generated schemas, data, expression trees,
+and SQL statements through both and asserting identical answers.  This
+package holds the generator (:mod:`difftest.gen`); the assertions live
+in ``tests/relational/test_columnar_equivalence.py``.
+
+Every generator function takes a ``random.Random`` built from an
+explicit integer seed, and the test layer prints the failing seed so
+any discrepancy reproduces with a one-line ``make_rng(seed)`` call in a
+REPL.  The seed *count* is tunable from the command line
+(``--difftest-seeds N``) so CI can run a deeper nightly-style sweep
+without code changes.
+
+Importable as ``difftest`` because the root ``tests/conftest.py``
+directory is on ``sys.path`` under pytest's rootdir import mode.
+"""

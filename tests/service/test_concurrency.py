@@ -301,3 +301,58 @@ class TestRebuildUnderLoad:
         assert stats.requests == len(observed)
         assert stats.result_cache.hits + stats.result_cache.misses == stats.requests
         assert stats.result_cache.misses == stats.executions + stats.coalesced
+
+
+class TestLRUCacheFalsyHitsUnderContention:
+    """The MISSING-sentinel hit protocol must survive the 8-thread
+    stress treatment: a cached falsy value (None, 0, empty list, empty
+    string) is a *hit* on every thread, every time — presence of the
+    key decides hit vs. miss, never truthiness of the value — and the
+    hit/miss counters stay exact (no lost updates) while readers race
+    writers refreshing the same falsy entries."""
+
+    FALSY = {f"key{i}": value for i, value in enumerate((None, 0, [], "", False))}
+
+    def test_falsy_values_always_hit_with_exact_counters(self):
+        from repro.service import MISSING, LRUCache
+
+        cache = LRUCache(capacity=64)
+        for key, value in self.FALSY.items():
+            cache.put(key, value)
+
+        rounds = 200
+        keys = sorted(self.FALSY)
+        wrong = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(THREADS)
+
+        def worker(offset: int) -> None:
+            barrier.wait()
+            local = []
+            for i in range(rounds):
+                key = keys[(offset + i) % len(keys)]
+                got = cache.get(key, MISSING)
+                if got is MISSING:
+                    local.append((key, "reported miss"))
+                elif got != self.FALSY[key]:
+                    local.append((key, got))
+                # Writers race readers: re-putting the same falsy value
+                # must never turn a present key into a miss.
+                if i % 7 == offset % 7:
+                    cache.put(key, self.FALSY[key])
+            with lock:
+                wrong.extend(local)
+
+        pool = [threading.Thread(target=worker, args=(n,)) for n in range(THREADS)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert wrong == []
+        stats = cache.stats()
+        assert stats.hits == THREADS * rounds  # exact: every get was a hit
+        assert stats.misses == 0
+        assert stats.hit_rate == 1.0
+        # The sentinel itself never leaks into storage.
+        assert all(cache.get(k, MISSING) is not MISSING for k in keys)
