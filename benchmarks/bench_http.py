@@ -1,0 +1,376 @@
+"""HTTP serving benchmark: SLO percentiles at the wire, shed under burst,
+rebuild under live socket traffic.
+
+The full stack is measured — stdlib socket server, ASGI app, admission
+gate, JSON wire schemas, engine — with real ``http.client`` keep-alive
+connections, not the in-process test client:
+
+* **Closed loop** — N client threads each keep one connection saturated
+  (a new request the instant the previous response lands).  Reported:
+  throughput and p50/p95/p99 latency for a cache-mixed workload.  Every
+  response must be a 200.
+* **Open loop** — requests arrive on a fixed schedule regardless of
+  completions, against a deliberately tiny admission gate.  Reported:
+  served vs shed.  The gate must shed (503 + Retry-After) rather than
+  queue without bound; nothing may fail any other way.
+* **Rebuild under load** — readers hammer ``POST /query`` over sockets
+  while ``POST /rebuild`` hot-swaps generations with provably different
+  answers under them.  Zero failed responses and zero torn results are
+  *enforced*, not just reported.
+
+Machine-readable results land in ``BENCH_http.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import render_table
+from repro.service import TopologyServer
+from repro.service.http import HttpServerThread, create_app
+
+from benchmarks.common import emit, emit_json, private_system
+
+CLOSED_CLIENTS = 4
+CLOSED_REQUESTS_PER_CLIENT = 40
+OPEN_TARGET_QPS = 40.0
+OPEN_REQUESTS = 80
+REBUILD_READERS = 8
+REBUILD_ROUNDS = 2
+
+KEYWORDS = ["kinase", "binding", "human", "receptor", "membrane", "conserved"]
+
+
+def _wire_query(keyword: str, k: int) -> dict:
+    return {
+        "entity1": "Protein",
+        "entity2": "DNA",
+        "constraint1": {"kind": "keyword", "column": "DESC", "keyword": keyword},
+        "constraint2": {"kind": "none"},
+        "k": k,
+        "ranking": ("freq", "rare")[k % 2],
+    }
+
+
+WORKLOAD = [_wire_query(kw, 2 + i % 4) for i, kw in enumerate(KEYWORDS)]
+
+
+def _fresh_server() -> TopologyServer:
+    server = TopologyServer(private_system())
+    server.system.calibration_enabled = False  # pin plan choices
+    server.system.restore_calibration(None)
+    return server
+
+
+class _Client:
+    """One keep-alive HTTP connection with request timing."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        host = base_url.split("//", 1)[1]
+        self.conn = http.client.HTTPConnection(host, timeout=timeout)
+
+    def post(self, path: str, payload: dict) -> Tuple[int, bytes, float]:
+        body = json.dumps(payload).encode()
+        start = time.perf_counter()
+        self.conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = self.conn.getresponse()
+        data = response.read()  # http.client de-chunks transparently
+        return response.status, data, time.perf_counter() - start
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+def test_closed_loop_slo_percentiles(benchmark):
+    """Saturating clients: throughput + latency percentiles, all-200."""
+    with _fresh_server() as server:
+        with create_app(server, max_concurrency=CLOSED_CLIENTS + 2) as app:
+            with HttpServerThread(app) as base_url:
+                latencies: List[float] = []
+                statuses: List[int] = []
+                lock = threading.Lock()
+                barrier = threading.Barrier(CLOSED_CLIENTS + 1)
+
+                def client_thread(offset: int) -> None:
+                    client = _Client(base_url)
+                    try:
+                        barrier.wait()
+                        local = []
+                        for i in range(CLOSED_REQUESTS_PER_CLIENT):
+                            body = WORKLOAD[(offset + i) % len(WORKLOAD)]
+                            status, _, seconds = client.post("/query", body)
+                            local.append((status, seconds))
+                        with lock:
+                            for status, seconds in local:
+                                statuses.append(status)
+                                latencies.append(seconds)
+                    finally:
+                        client.close()
+
+                def run() -> float:
+                    threads = [
+                        threading.Thread(target=client_thread, args=(n,))
+                        for n in range(CLOSED_CLIENTS)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    barrier.wait()
+                    start = time.perf_counter()
+                    for thread in threads:
+                        thread.join()
+                    return time.perf_counter() - start
+
+                wall = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    total = CLOSED_CLIENTS * CLOSED_REQUESTS_PER_CLIENT
+    ordered = sorted(latencies)
+    p50, p95, p99 = (_percentile(ordered, q) for q in (50, 95, 99))
+    qps = total / max(wall, 1e-9)
+
+    emit(
+        "http_closed_loop",
+        render_table(
+            ["metric", "value"],
+            [
+                ["clients (closed loop)", str(CLOSED_CLIENTS)],
+                ["requests", str(total)],
+                ["throughput", f"{qps:.1f} req/s"],
+                ["p50 latency", f"{p50 * 1000:.2f} ms"],
+                ["p95 latency", f"{p95 * 1000:.2f} ms"],
+                ["p99 latency", f"{p99 * 1000:.2f} ms"],
+                ["non-200 responses", str(sum(1 for s in statuses if s != 200))],
+            ],
+            title="Closed-loop HTTP serving (real sockets, keep-alive)",
+        ),
+    )
+    emit_json(
+        "http",
+        {
+            "closed_loop": {
+                "clients": CLOSED_CLIENTS,
+                "requests": total,
+                "wall_seconds": wall,
+                "throughput_rps": qps,
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "p99_seconds": p99,
+                "non_200": sum(1 for s in statuses if s != 200),
+            }
+        },
+    )
+    assert statuses == [200] * total
+    assert p50 <= p95 <= p99
+
+
+def test_open_loop_sheds_instead_of_queueing():
+    """Fixed-rate arrivals against a tiny gate: shed cleanly, never fail."""
+    with _fresh_server() as server:
+        with create_app(
+            server, max_concurrency=2, max_queue=2, queue_timeout=0.2
+        ) as app:
+            with HttpServerThread(app) as base_url:
+                outcomes: List[Tuple[int, Optional[str]]] = []
+                lock = threading.Lock()
+                interval = 1.0 / OPEN_TARGET_QPS
+                epoch = time.perf_counter() + 0.2  # shared schedule origin
+
+                def one_shot(n: int) -> None:
+                    client = _Client(base_url)
+                    try:
+                        delay = epoch + n * interval - time.perf_counter()
+                        if delay > 0:
+                            time.sleep(delay)
+                        status, data, _ = client.post(
+                            "/query", WORKLOAD[n % len(WORKLOAD)]
+                        )
+                        code = None
+                        if status != 200:
+                            code = json.loads(data)["error"]["code"]
+                        with lock:
+                            outcomes.append((status, code))
+                    finally:
+                        client.close()
+
+                threads = [
+                    threading.Thread(target=one_shot, args=(n,))
+                    for n in range(OPEN_REQUESTS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+
+    served = sum(1 for status, _ in outcomes if status == 200)
+    shed = sum(1 for status, _ in outcomes if status == 503)
+    other = [(s, c) for s, c in outcomes if s not in (200, 503)]
+    emit(
+        "http_open_loop",
+        render_table(
+            ["metric", "value"],
+            [
+                ["target arrival rate", f"{OPEN_TARGET_QPS:.0f} req/s"],
+                ["requests", str(OPEN_REQUESTS)],
+                ["served (200)", str(served)],
+                ["shed (503)", str(shed)],
+                ["other", str(len(other))],
+            ],
+            title="Open-loop arrivals vs a 2-slot/2-queue admission gate",
+        ),
+    )
+    emit_json(
+        "http",
+        {
+            "open_loop": {
+                "target_rps": OPEN_TARGET_QPS,
+                "requests": OPEN_REQUESTS,
+                "served": served,
+                "shed": shed,
+                "other": len(other),
+            }
+        },
+    )
+    assert other == []  # every non-200 is a structured 503 shed
+    assert served + shed == OPEN_REQUESTS
+    assert served > 0
+
+
+def test_rebuild_under_http_load_zero_torn():
+    """Generation hot-swaps under live socket traffic: zero torn, zero
+    failed."""
+    from repro.core import KeywordConstraint, NoConstraint, TopologyQuery
+
+    configs = [{"per_pair_path_limit": 1}, {"per_pair_path_limit": None}]
+
+    def oracle_query(body: dict) -> TopologyQuery:
+        return TopologyQuery(
+            body["entity1"],
+            body["entity2"],
+            KeywordConstraint("DESC", body["constraint1"]["keyword"]),
+            NoConstraint(),
+            k=body["k"],
+            ranking=body["ranking"],
+        )
+
+    with _fresh_server() as server:
+        oracles: Dict[int, Dict[int, List[int]]] = {}
+
+        def snapshot_oracle() -> None:
+            oracles[server.generation] = {
+                i: list(server.system.search(oracle_query(body)).tids)
+                for i, body in enumerate(WORKLOAD)
+            }
+
+        snapshot_oracle()
+        with create_app(server, max_concurrency=REBUILD_READERS + 2, max_queue=64) as app:
+            with HttpServerThread(app) as base_url:
+                stop = threading.Event()
+                observed: List[Tuple[int, int, List[int]]] = []
+                failed: List[Tuple[int, bytes]] = []
+                lock = threading.Lock()
+                barrier = threading.Barrier(REBUILD_READERS + 1)
+
+                def reader(offset: int) -> None:
+                    client = _Client(base_url)
+                    try:
+                        barrier.wait()
+                        i = 0
+                        local_ok, local_bad = [], []
+                        while not stop.is_set() or i == 0:
+                            index = (offset + i) % len(WORKLOAD)
+                            status, data, _ = client.post("/query", WORKLOAD[index])
+                            if status != 200:
+                                local_bad.append((status, data))
+                            else:
+                                payload = json.loads(data)
+                                local_ok.append(
+                                    (payload["generation"], index, payload["tids"])
+                                )
+                            i += 1
+                        with lock:
+                            observed.extend(local_ok)
+                            failed.extend(local_bad)
+                    finally:
+                        client.close()
+
+                threads = [
+                    threading.Thread(target=reader, args=(n,))
+                    for n in range(REBUILD_READERS)
+                ]
+                for thread in threads:
+                    thread.start()
+                rebuild_client = _Client(base_url, timeout=600.0)
+                rebuild_seconds = []
+                try:
+                    barrier.wait()
+                    for round_number in range(REBUILD_ROUNDS):
+                        status, data, seconds = rebuild_client.post(
+                            "/rebuild", configs[round_number % 2]
+                        )
+                        assert status == 200, data
+                        rebuild_seconds.append(seconds)
+                        snapshot_oracle()
+                finally:
+                    stop.set()
+                    for thread in threads:
+                        thread.join(timeout=300)
+                    rebuild_client.close()
+
+    torn = sum(
+        1
+        for generation, index, tids in observed
+        if oracles[generation][index] != tids
+    )
+    per_generation = {
+        generation: sum(1 for g, _, _ in observed if g == generation)
+        for generation in sorted(oracles)
+    }
+    emit(
+        "http_rebuild_under_load",
+        render_table(
+            ["metric", "value"],
+            [
+                ["reader threads", str(REBUILD_READERS)],
+                ["responses observed", str(len(observed))],
+                ["failed responses", str(len(failed))],
+                ["torn (mixed-generation) results", str(torn)],
+                ["generations served", str(len(per_generation))],
+                ["per-generation counts", str(per_generation)],
+                ["mean rebuild wall", f"{sum(rebuild_seconds) / len(rebuild_seconds):.2f} s"],
+            ],
+            title="Hot rebuild under live HTTP load",
+        ),
+    )
+    emit_json(
+        "http",
+        {
+            "rebuild_under_load": {
+                "reader_threads": REBUILD_READERS,
+                "responses_observed": len(observed),
+                "failed_responses": len(failed),
+                "torn_results": torn,
+                "generations": len(per_generation),
+                "per_generation_counts": {
+                    str(k): v for k, v in per_generation.items()
+                },
+                "mean_rebuild_seconds": sum(rebuild_seconds) / len(rebuild_seconds),
+            }
+        },
+    )
+    assert oracles[1] != oracles[2], "configs must disagree for a real check"
+    assert failed == []
+    assert torn == 0
+    assert len(observed) >= REBUILD_READERS

@@ -129,35 +129,49 @@ class LatencyStats:
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Windowed nearest-rank percentile (q in [0, 100]) over recent
-        samples: the smallest sample with at least q% of the window at
-        or below it.  Computed as rank ``ceil(q/100 * n)`` (1-indexed,
-        clamped to [1, n]) — an explicit rank, not ``int(round(...))``,
-        whose banker's rounding picked the off-by-one rank for p50 of
-        an even-sized window (e.g. index 2 of 4 samples instead of 1)."""
-        with self._lock:
-            window = list(self._window)
-        if not window:
+    @staticmethod
+    def _nearest_rank(ordered: List[float], q: float) -> float:
+        """Nearest-rank percentile of pre-sorted samples: the smallest
+        sample with at least q% of them at or below it.  Computed as
+        rank ``ceil(q/100 * n)`` (1-indexed, clamped to [1, n]) — an
+        explicit rank, not ``int(round(...))``, whose banker's rounding
+        picked the off-by-one rank for p50 of an even-sized window
+        (e.g. index 2 of 4 samples instead of 1)."""
+        if not ordered:
             return 0.0
-        ordered = sorted(window)
         rank = math.ceil(q / 100.0 * len(ordered))
         return ordered[min(len(ordered), max(1, rank)) - 1]
 
+    def percentile(self, q: float) -> float:
+        """Windowed nearest-rank percentile (q in [0, 100]) over recent
+        samples."""
+        with self._lock:
+            window = list(self._window)
+        return self._nearest_rank(sorted(window), q)
+
     def snapshot(self) -> Dict[str, float]:
+        """All statistics from ONE lock acquisition: counters and
+        percentiles describe the same instant.  (The old version read
+        the counters, released the lock, then re-locked once per
+        percentile — concurrent ``record()`` calls could slip between,
+        yielding a p50 and p95 from *different* windows than the count
+        in the same payload.  The HTTP ``/stats`` endpoint serves this
+        dict verbatim, so the tear was wire-visible.)"""
         with self._lock:
             count = self.count
             total = self.total_seconds
             minimum = self.min_seconds
             maximum = self.max_seconds
+            ordered = sorted(self._window)
         return {
             "count": count,
             "total_seconds": total,
             "mean_seconds": total / count if count else 0.0,
             "min_seconds": 0.0 if count == 0 else minimum,
             "max_seconds": maximum,
-            "p50_seconds": self.percentile(50),
-            "p95_seconds": self.percentile(95),
+            "p50_seconds": self._nearest_rank(ordered, 50),
+            "p95_seconds": self._nearest_rank(ordered, 95),
+            "p99_seconds": self._nearest_rank(ordered, 99),
         }
 
 

@@ -1,0 +1,64 @@
+"""The HTTP serving layer: a wire protocol for the topology server.
+
+Framework-free by construction — stdlib plus the ASGI message protocol —
+so the no-extra-deps CI matrix exercises the same code a production
+deployment runs.  The pieces:
+
+:mod:`~repro.service.http.app`
+    :class:`TopologyHttpApp`, the ASGI application: routing, request
+    validation, admission control, streaming, structured errors and
+    per-request logs over one :class:`~repro.service.TopologyServer`.
+:mod:`~repro.service.http.schemas`
+    Wire schemas both ways: JSON -> typed query objects (with
+    field-tagged 422s) and engine objects -> JSON.
+:mod:`~repro.service.http.admission`
+    The bounded-concurrency/bounded-queue/timeout gate behind 503 +
+    ``Retry-After``.
+:mod:`~repro.service.http.testclient`
+    In-repo ASGI test client (no sockets, full message protocol).
+:mod:`~repro.service.http.netserver`
+    Stdlib asyncio HTTP/1.1 socket server (keep-alive + chunked
+    streaming) and the optional uvicorn runner.
+
+>>> from repro.service import TopologyServer
+>>> from repro.service.http import HttpServerThread, create_app
+>>> app = create_app(TopologyServer.from_snapshot("biozon.topo"))
+>>> with HttpServerThread(app) as base_url:   # real socket, stdlib only
+...     ...  # POST {base_url}/query
+"""
+
+from repro.service.http.admission import AdmissionGate, AdmissionRejected
+from repro.service.http.app import TopologyHttpApp, create_app
+from repro.service.http.netserver import AsgiHttpServer, HttpServerThread, serve_uvicorn
+from repro.service.http.reqlog import LOGGER_NAME, RequestLogger
+from repro.service.http.schemas import (
+    MAX_BATCH,
+    MAX_K,
+    MAX_LENGTH_BOUND,
+    RequestValidationError,
+    parse_query_many_request,
+    parse_query_request,
+    parse_rebuild_request,
+)
+from repro.service.http.testclient import Response, TestClient
+
+__all__ = [
+    "AdmissionGate",
+    "AdmissionRejected",
+    "AsgiHttpServer",
+    "HttpServerThread",
+    "LOGGER_NAME",
+    "MAX_BATCH",
+    "MAX_K",
+    "MAX_LENGTH_BOUND",
+    "RequestValidationError",
+    "RequestLogger",
+    "Response",
+    "TestClient",
+    "TopologyHttpApp",
+    "create_app",
+    "parse_query_many_request",
+    "parse_query_request",
+    "parse_rebuild_request",
+    "serve_uvicorn",
+]

@@ -1,0 +1,585 @@
+"""The ASGI application fronting :class:`~repro.service.TopologyServer`.
+
+``TopologyHttpApp`` is a framework-free ASGI 3 callable — stdlib plus
+the ASGI message protocol, nothing else — so the no-extra-deps CI
+matrix serves HTTP exactly like a production deployment would.  Run it
+under any ASGI server (uvicorn works out of the box when installed),
+under the in-repo stdlib socket server (:mod:`repro.service.http.netserver`),
+or poke it in-process with the test client
+(:mod:`repro.service.http.testclient`).
+
+The endpoint surface::
+
+    GET  /healthz      liveness + serving generation
+    GET  /stats        one consistent counter snapshot (+ latency, + http)
+    POST /query        one topology query -> result JSON (chunk-streamed
+                       when the tid list is large)
+    POST /query_many   a batch -> NDJSON stream, one result line per
+                       query in submission order + a summary line
+    POST /explain      the plan a query would run, costs + rendered tree
+    POST /rebuild      hot-swap rebuild; returns the new generation
+
+Request handling is layered the same way for every endpoint: read the
+body (bounded), parse + validate (:mod:`.schemas`), pass the admission
+gate (:mod:`.admission`), run the blocking engine call on the worker
+pool under the per-request timeout, serialize.  Every failure mode maps
+to a structured error body ``{"error": {"code", "message", "details"}}``
+with the taxonomy::
+
+    400 invalid_json / invalid_request   body is not a JSON object
+    404 not_found                        unknown path
+    405 method_not_allowed               known path, wrong verb (+Allow)
+    413 body_too_large                   body exceeds max_body_bytes
+    422 validation_error                 schema-invalid fields (details[])
+    422 unsupported_query                valid shape the serving store
+                                         cannot answer (unbuilt pair,
+                                         wrong l, ...)
+    503 overloaded / timeout /           admission shed, per-request
+        rebuild_in_progress              timeout, concurrent rebuild
+                                         (all with Retry-After)
+    500 internal                         anything else (sanitized)
+
+The engine work runs on a private thread pool because the engine is
+synchronous by design; the event loop only ever parses, validates, and
+shuttles bytes.  Admission bounds how many engine calls are in flight,
+so the pool can never be oversubscribed by traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.service.http.admission import AdmissionGate, AdmissionRejected
+from repro.service.http.reqlog import RequestLog, RequestLogger
+from repro.service.http.schemas import (
+    RequestValidationError,
+    parse_query_many_request,
+    parse_query_request,
+    parse_rebuild_request,
+    plan_to_wire,
+    result_to_wire,
+    server_stats_to_wire,
+)
+
+__all__ = ["TopologyHttpApp", "create_app"]
+
+_JSON_CONTENT = [(b"content-type", b"application/json")]
+_NDJSON_CONTENT = [(b"content-type", b"application/x-ndjson")]
+
+
+class _HttpError(Exception):
+    """Internal: carries a ready-to-send error response."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: Optional[List[Dict[str, str]]] = None,
+        retry_after: Optional[int] = None,
+        allow: Optional[str] = None,
+    ) -> None:
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details or []
+        self.retry_after = retry_after
+        self.allow = allow
+        super().__init__(f"{status} {code}: {message}")
+
+
+def _dumps(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _error_body(error: _HttpError) -> bytes:
+    return _dumps(
+        {
+            "error": {
+                "code": error.code,
+                "message": error.message,
+                "details": error.details,
+            }
+        }
+    )
+
+
+class TopologyHttpApp:
+    """ASGI 3 application over one :class:`TopologyServer`.
+
+    ``server`` only needs the TopologyServer surface actually used
+    (``query``/``query_many``/``explain``/``rebuild``/``stats``/
+    ``latency_stats``/``generation``), so tests can substitute a stub
+    with controllable latency.
+
+    ``max_concurrency``/``max_queue``/``queue_timeout`` parameterize the
+    admission gate; ``request_timeout`` bounds each engine call (for
+    ``/query_many``: each streamed slice); ``rebuild_timeout`` bounds a
+    rebuild.  ``stream_chunk_rows`` is both the tid-array chunk size for
+    large ``/query`` responses and the slice size for ``/query_many``
+    streaming."""
+
+    def __init__(
+        self,
+        server,
+        max_concurrency: int = 8,
+        max_queue: int = 32,
+        queue_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        rebuild_timeout: float = 600.0,
+        max_body_bytes: int = 1 << 20,
+        stream_chunk_rows: int = 256,
+        logger: Optional[RequestLogger] = None,
+    ) -> None:
+        self.server = server
+        self.gate = AdmissionGate(max_concurrency, max_queue, queue_timeout)
+        self.request_timeout = request_timeout
+        self.rebuild_timeout = rebuild_timeout
+        self.max_body_bytes = max_body_bytes
+        self.stream_chunk_rows = max(1, stream_chunk_rows)
+        self.log = logger or RequestLogger()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency + 2, thread_name_prefix="topology-http"
+        )
+        self._rebuild_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests_total = 0
+        self._responses_by_class: Dict[str, int] = {}
+        self._routes: Dict[str, Dict[str, Callable]] = {
+            "/healthz": {"GET": self._handle_healthz},
+            "/stats": {"GET": self._handle_stats},
+            "/query": {"POST": self._handle_query},
+            "/query_many": {"POST": self._handle_query_many},
+            "/explain": {"POST": self._handle_explain},
+            "/rebuild": {"POST": self._handle_rebuild},
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "TopologyHttpApp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ASGI entry point
+    # ------------------------------------------------------------------
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._handle_lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
+        verb = scope["method"].upper()
+        path = scope["path"]
+        log = self.log.start(verb, path)
+        with self._stats_lock:
+            self._requests_total += 1
+        try:
+            try:
+                handler = self._resolve(verb, path)
+                await handler(scope, receive, send, log)
+            except _HttpError as error:
+                await self._send_error(send, error, log)
+            except AdmissionRejected as rejected:
+                await self._send_error(
+                    send,
+                    _HttpError(
+                        503,
+                        "overloaded",
+                        f"server at capacity ({rejected.reason}); retry later",
+                        retry_after=rejected.retry_after,
+                    ),
+                    log,
+                )
+            except Exception as error:  # noqa: BLE001 - the 500 boundary
+                await self._send_error(
+                    send,
+                    _HttpError(500, "internal", f"internal error: {type(error).__name__}"),
+                    log,
+                )
+        finally:
+            status_class = f"{(log.status or 500) // 100}xx"
+            with self._stats_lock:
+                self._responses_by_class[status_class] = (
+                    self._responses_by_class.get(status_class, 0) + 1
+                )
+            self.log.finish(log)
+
+    async def _handle_lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    def _resolve(self, verb: str, path: str):
+        route = self._routes.get(path)
+        if route is None:
+            raise _HttpError(404, "not_found", f"no such endpoint: {path}")
+        handler = route.get(verb)
+        if handler is None:
+            raise _HttpError(
+                405,
+                "method_not_allowed",
+                f"{verb} is not supported on {path}",
+                allow=", ".join(sorted(route)),
+            )
+        return handler
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    async def _read_body(self, receive) -> bytes:
+        chunks: List[bytes] = []
+        size = 0
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise _HttpError(400, "invalid_request", "client disconnected mid-request")
+            body = message.get("body", b"")
+            size += len(body)
+            if size > self.max_body_bytes:
+                raise _HttpError(
+                    413,
+                    "body_too_large",
+                    f"request body exceeds {self.max_body_bytes} bytes",
+                )
+            chunks.append(body)
+            if not message.get("more_body"):
+                return b"".join(chunks)
+
+    def _parse_json(self, body: bytes, required: bool = True) -> Any:
+        if not body:
+            if required:
+                raise _HttpError(400, "invalid_json", "request body is empty")
+            return None
+        try:
+            return json.loads(body)
+        except ValueError as error:
+            raise _HttpError(400, "invalid_json", f"body is not valid JSON: {error}") from None
+
+    async def _run_blocking(self, fn, timeout: float):
+        """Run ``fn`` on the worker pool, bounded by ``timeout``.
+
+        On timeout the engine call keeps running on its pool thread —
+        a synchronous engine call cannot be interrupted — but its
+        admission slot is released only when it finishes, so a pile-up
+        of timed-out work still sheds load at the gate instead of
+        oversubscribing the pool."""
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(self._executor, fn), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            raise _HttpError(
+                503,
+                "timeout",
+                f"request exceeded the {timeout:g}s execution budget",
+                retry_after=self.gate.retry_after,
+            ) from None
+
+    async def _send_json(
+        self, send, payload: Any, log: RequestLog, status: int = 200
+    ) -> None:
+        body = _dumps(payload)
+        log.status = status
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": _JSON_CONTENT + [(b"content-length", str(len(body)).encode())],
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+    async def _send_error(self, send, error: _HttpError, log: RequestLog) -> None:
+        if log.status is not None:
+            # The response already started (mid-stream failure): the
+            # stream protocol has its own in-band error line; nothing
+            # more can be sent on this exchange.
+            return
+        body = _error_body(error)
+        headers = _JSON_CONTENT + [(b"content-length", str(len(body)).encode())]
+        if error.retry_after is not None:
+            headers.append((b"retry-after", str(error.retry_after).encode()))
+        if error.allow is not None:
+            headers.append((b"allow", error.allow.encode()))
+        log.status = error.status
+        log.error_code = error.code
+        await send({"type": "http.response.start", "status": error.status, "headers": headers})
+        await send({"type": "http.response.body", "body": body})
+
+    @staticmethod
+    def _validation_error(error: RequestValidationError) -> _HttpError:
+        return _HttpError(
+            422,
+            "validation_error",
+            "request failed schema validation",
+            details=[issue.to_wire() for issue in error.issues],
+        )
+
+    @staticmethod
+    def _query_error(error: TopologyError) -> _HttpError:
+        return _HttpError(422, "unsupported_query", str(error))
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, scope, receive, send, log: RequestLog) -> None:
+        generation = self.server.generation
+        log.generation = generation
+        await self._send_json(send, {"status": "ok", "generation": generation}, log)
+
+    async def _handle_stats(self, scope, receive, send, log: RequestLog) -> None:
+        # ONE ServerStats snapshot feeds every counter in the payload;
+        # a second read of the live server mid-traffic could break the
+        # hits+misses==requests invariant the stress suite asserts.
+        stats = self.server.stats()
+        payload = server_stats_to_wire(stats, self.server.latency_stats())
+        with self._stats_lock:
+            http_section = {
+                "requests_total": self._requests_total,
+                "responses_by_class": dict(self._responses_by_class),
+            }
+        http_section["admission"] = self.gate.stats()
+        payload["http"] = http_section
+        log.generation = stats.generation
+        await self._send_json(send, payload, log)
+
+    async def _handle_query(self, scope, receive, send, log: RequestLog) -> None:
+        body = await self._read_body(receive)
+        try:
+            query, method = parse_query_request(self._parse_json(body))
+        except RequestValidationError as error:
+            raise self._validation_error(error) from None
+        async with self._admitted(log):
+            try:
+                result = await self._run_blocking(
+                    lambda: self.server.query(query, method=method),
+                    self.request_timeout,
+                )
+            except TopologyError as error:
+                raise self._query_error(error) from None
+        wire = result_to_wire(result)
+        log.generation = result.generation
+        if wire["scores"] is None and len(wire["tids"]) > self.stream_chunk_rows:
+            await self._stream_query_response(send, wire, log)
+        else:
+            await self._send_json(send, wire, log)
+
+    async def _stream_query_response(self, send, wire: Dict[str, Any], log: RequestLog) -> None:
+        """Large tid lists go out in chunks: the first frame carries the
+        scalar fields and opens the ``tids`` array, each following frame
+        is one chunk of tids, the last frame closes the JSON.  The
+        concatenation is byte-for-byte a valid JSON document equal to
+        the unstreamed response."""
+        head = dict(wire)
+        tids = head.pop("tids")
+        prefix = _dumps(head)[:-1] + b', "tids": ['
+        log.status = 200
+        await send(
+            {
+                "type": "http.response.start",
+                "status": 200,
+                "headers": _JSON_CONTENT,  # no content-length: chunked
+            }
+        )
+        await send({"type": "http.response.body", "body": prefix, "more_body": True})
+        log.streamed_chunks += 1
+        for start in range(0, len(tids), self.stream_chunk_rows):
+            chunk = tids[start : start + self.stream_chunk_rows]
+            text = ", ".join(str(t) for t in chunk)
+            if start:
+                text = ", " + text
+            await send(
+                {
+                    "type": "http.response.body",
+                    "body": text.encode("ascii"),
+                    "more_body": True,
+                }
+            )
+            log.streamed_chunks += 1
+        await send({"type": "http.response.body", "body": b"]}"})
+
+    async def _handle_query_many(self, scope, receive, send, log: RequestLog) -> None:
+        body = await self._read_body(receive)
+        try:
+            queries, method, parallel, mode = parse_query_many_request(
+                self._parse_json(body)
+            )
+        except RequestValidationError as error:
+            raise self._validation_error(error) from None
+        slice_rows = self.stream_chunk_rows
+        async with self._admitted(log):
+            # The first slice runs BEFORE the response starts: a store
+            # that cannot answer these queries (unbuilt pair, wrong l)
+            # must surface as a real 422, not a broken stream.
+            first = queries[:slice_rows]
+            try:
+                first_results = await self._run_blocking(
+                    lambda: self.server.query_many(
+                        first, method=method, parallel=parallel, mode=mode
+                    ),
+                    self.request_timeout,
+                )
+            except TopologyError as error:
+                raise self._query_error(error) from None
+            log.status = 200
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": 200,
+                    "headers": _NDJSON_CONTENT,
+                }
+            )
+            count = 0
+            generations = set()
+            failed: Optional[Dict[str, Any]] = None
+            results = first_results
+            start = 0
+            while True:
+                lines = []
+                for offset, result in enumerate(results):
+                    line = result_to_wire(result)
+                    line["index"] = start + offset
+                    generations.add(result.generation)
+                    lines.append(_dumps(line))
+                    count += 1
+                if lines:
+                    await send(
+                        {
+                            "type": "http.response.body",
+                            "body": b"\n".join(lines) + b"\n",
+                            "more_body": True,
+                        }
+                    )
+                    log.streamed_chunks += 1
+                start += len(results)
+                if start >= len(queries):
+                    break
+                chunk = queries[start : start + slice_rows]
+                try:
+                    results = await self._run_blocking(
+                        lambda c=chunk: self.server.query_many(
+                            c, method=method, parallel=parallel, mode=mode
+                        ),
+                        self.request_timeout,
+                    )
+                except (_HttpError, TopologyError) as error:
+                    # Mid-stream failure: the status line is gone, so
+                    # the error travels in-band as the summary line.
+                    if isinstance(error, _HttpError):
+                        code, message = error.code, error.message
+                    else:
+                        code, message = "unsupported_query", str(error)
+                    failed = {"code": code, "message": message}
+                    log.error_code = code
+                    break
+            summary: Dict[str, Any] = {
+                "done": failed is None,
+                "count": count,
+                "generations": sorted(g for g in generations if g is not None),
+            }
+            if failed is not None:
+                summary["error"] = failed
+            log.generation = max(
+                (g for g in generations if g is not None), default=None
+            )
+            await send(
+                {
+                    "type": "http.response.body",
+                    "body": _dumps(summary) + b"\n",
+                }
+            )
+
+    async def _handle_explain(self, scope, receive, send, log: RequestLog) -> None:
+        body = await self._read_body(receive)
+        try:
+            query, method = parse_query_request(self._parse_json(body))
+        except RequestValidationError as error:
+            raise self._validation_error(error) from None
+        async with self._admitted(log):
+            try:
+                plan = await self._run_blocking(
+                    lambda: self.server.explain(query, method=method),
+                    self.request_timeout,
+                )
+            except TopologyError as error:
+                raise self._query_error(error) from None
+        generation = self.server.generation
+        log.generation = generation
+        wire = plan_to_wire(plan, query)
+        wire["generation"] = generation
+        await self._send_json(send, wire, log)
+
+    async def _handle_rebuild(self, scope, receive, send, log: RequestLog) -> None:
+        body = await self._read_body(receive)
+        try:
+            kwargs = parse_rebuild_request(self._parse_json(body, required=False))
+        except RequestValidationError as error:
+            raise self._validation_error(error) from None
+        if not self._rebuild_lock.acquire(blocking=False):
+            raise _HttpError(
+                503,
+                "rebuild_in_progress",
+                "another rebuild is already running",
+                retry_after=max(1, round(self.rebuild_timeout / 10)),
+            )
+        try:
+            previous = self.server.generation
+            try:
+                report = await self._run_blocking(
+                    lambda: self.server.rebuild(**kwargs), self.rebuild_timeout
+                )
+            except TopologyError as error:
+                raise self._query_error(error) from None
+        finally:
+            self._rebuild_lock.release()
+        generation = self.server.generation
+        log.generation = generation
+        await self._send_json(
+            send,
+            {
+                "generation": generation,
+                "previous_generation": previous,
+                "elapsed_seconds": report.elapsed_seconds,
+            },
+            log,
+        )
+
+    # ------------------------------------------------------------------
+    def _admitted(self, log: RequestLog):
+        """Admission context that records queue wait into the log."""
+        gate = self.gate
+
+        class _Admission:
+            async def __aenter__(self):
+                start = time.perf_counter()
+                await gate.acquire()
+                log.queue_seconds = time.perf_counter() - start
+                return self
+
+            async def __aexit__(self, *exc):
+                gate.release()
+
+        return _Admission()
+
+
+def create_app(server, **kwargs) -> TopologyHttpApp:
+    """Build the ASGI app over a built/restored ``TopologyServer``."""
+    return TopologyHttpApp(server, **kwargs)

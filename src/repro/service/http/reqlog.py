@@ -1,0 +1,85 @@
+"""Structured per-request logging for the HTTP layer.
+
+One JSON line per completed request on the ``repro.http`` logger:
+request id, verb, path, status, error code (when the response was an
+error body), wall-clock latency, the serving generation that answered,
+and how long admission queued the request.  The line is machine-first —
+the benchmark and operators grep/parse it — so the record is rendered
+as compact JSON, not prose.
+
+The logger propagates like any stdlib logger: tests capture it with a
+handler, deployments route it wherever their logging config says.
+Nothing here writes to a file or configures handlers on import.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["LOGGER_NAME", "RequestLog", "RequestLogger"]
+
+LOGGER_NAME = "repro.http"
+
+
+class RequestLog:
+    """Mutable record for one in-flight request; emitted on finish."""
+
+    __slots__ = (
+        "request_id",
+        "verb",
+        "path",
+        "status",
+        "error_code",
+        "generation",
+        "queue_seconds",
+        "streamed_chunks",
+        "_start",
+    )
+
+    def __init__(self, request_id: int, verb: str, path: str) -> None:
+        self.request_id = request_id
+        self.verb = verb
+        self.path = path
+        self.status: Optional[int] = None
+        self.error_code: Optional[str] = None
+        self.generation: Optional[int] = None
+        self.queue_seconds = 0.0
+        self.streamed_chunks = 0
+        self._start = time.perf_counter()
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "verb": self.verb,
+            "path": self.path,
+            "status": self.status,
+            "error_code": self.error_code,
+            "generation": self.generation,
+            "latency_ms": round((time.perf_counter() - self._start) * 1e3, 3),
+            "queue_ms": round(self.queue_seconds * 1e3, 3),
+            "streamed_chunks": self.streamed_chunks,
+        }
+
+
+class RequestLogger:
+    """Allocates monotonically increasing request ids and emits the
+    one-line-per-request JSON records."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self._logger = logger or logging.getLogger(LOGGER_NAME)
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def start(self, verb: str, path: str) -> RequestLog:
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+        return RequestLog(request_id, verb, path)
+
+    def finish(self, log: RequestLog) -> None:
+        if self._logger.isEnabledFor(logging.INFO):
+            self._logger.info(json.dumps(log.to_record(), sort_keys=True))

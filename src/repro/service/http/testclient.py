@@ -1,0 +1,208 @@
+"""A minimal in-repo ASGI test client (no httpx, no starlette).
+
+Drives an ASGI 3 application directly — no sockets — while still
+exercising the full message protocol: scope construction, chunked
+request bodies, streamed response frames, disconnects.  One background
+event loop serves every request, from any number of caller threads,
+which is exactly the topology of a real ASGI deployment (one loop, many
+in-flight requests) and what the rebuild-under-load stress suite needs:
+eight client threads hammering one app whose admission gate and
+executor live on one loop.
+
+>>> with TestClient(app) as client:
+...     response = client.post("/query", json={...})
+...     response.status, response.json()
+
+``Response.chunks`` preserves the individual ``http.response.body``
+frames, so streaming behaviour is assertable, not just the final bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Response", "TestClient"]
+
+
+class Response:
+    """One completed HTTP exchange."""
+
+    def __init__(
+        self,
+        status: int,
+        headers: List[Tuple[bytes, bytes]],
+        chunks: List[bytes],
+    ) -> None:
+        self.status = status
+        self.raw_headers = headers
+        self.chunks = chunks
+
+    @property
+    def headers(self) -> Dict[str, str]:
+        """Header map with lower-cased names (last value wins)."""
+        return {
+            name.decode("latin-1").lower(): value.decode("latin-1")
+            for name, value in self.raw_headers
+        }
+
+    @property
+    def body(self) -> bytes:
+        return b"".join(self.chunks)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+    def ndjson(self) -> List[Any]:
+        """Parse an ``application/x-ndjson`` body line by line."""
+        return [json.loads(line) for line in self.body.splitlines() if line.strip()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Response(status={self.status}, bytes={len(self.body)})"
+
+
+class _AppCrashed(Exception):
+    """The app raised instead of completing the response."""
+
+
+class TestClient:
+    """Synchronous facade over an ASGI app on a shared background loop."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, app, request_timeout: float = 60.0) -> None:
+        self.app = app
+        self.request_timeout = request_timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="asgi-testclient", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "TestClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Any = None,
+        body: Optional[bytes] = None,
+        headers: Optional[Iterable[Tuple[str, str]]] = None,
+        body_frames: Optional[List[bytes]] = None,
+    ) -> Response:
+        """Perform one exchange.  ``json_body`` wins over ``body``;
+        ``body_frames`` sends the body as multiple ``http.request``
+        messages (exercising the app's incremental body reader)."""
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        frames = body_frames if body_frames is not None else [body or b""]
+        future = asyncio.run_coroutine_threadsafe(
+            self._exchange(method.upper(), path, frames, list(headers or [])),
+            self._loop,
+        )
+        return future.result(timeout=self.request_timeout)
+
+    def get(self, path: str, **kwargs) -> Response:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, json: Any = None, **kwargs) -> Response:
+        return self.request("POST", path, json_body=json, **kwargs)
+
+    def put(self, path: str, **kwargs) -> Response:
+        return self.request("PUT", path, **kwargs)
+
+    def delete(self, path: str, **kwargs) -> Response:
+        return self.request("DELETE", path, **kwargs)
+
+    # ------------------------------------------------------------------
+    async def _exchange(
+        self,
+        method: str,
+        path: str,
+        frames: List[bytes],
+        headers: List[Tuple[str, str]],
+    ) -> Response:
+        if "?" in path:
+            path, _, query_string = path.partition("?")
+        else:
+            query_string = ""
+        raw_headers = [(b"host", b"testclient")] + [
+            (name.lower().encode("latin-1"), value.encode("latin-1"))
+            for name, value in headers
+        ]
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("utf-8"),
+            "query_string": query_string.encode("utf-8"),
+            "root_path": "",
+            "headers": raw_headers,
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+        }
+
+        to_app: List[dict] = [
+            {
+                "type": "http.request",
+                "body": frame,
+                "more_body": index < len(frames) - 1,
+            }
+            for index, frame in enumerate(frames)
+        ]
+        cursor = 0
+
+        async def receive() -> dict:
+            nonlocal cursor
+            if cursor < len(to_app):
+                message = to_app[cursor]
+                cursor += 1
+                return message
+            # The request is fully delivered; a further receive() only
+            # ever resolves to disconnect (after the response is done).
+            return {"type": "http.disconnect"}
+
+        status: List[int] = []
+        response_headers: List[Tuple[bytes, bytes]] = []
+        chunks: List[bytes] = []
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                status.append(message["status"])
+                response_headers.extend(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                body = message.get("body", b"")
+                if body:
+                    chunks.append(body)
+
+        await self.app(scope, receive, send)
+        if not status:
+            raise _AppCrashed(
+                f"{method} {path}: app finished without sending a response"
+            )
+        return Response(status[0], response_headers, chunks)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the HTTP layer: app + in-repo ASGI test client.
+
+The server/app/client stack is function-scoped — construction is cheap
+(the expensive offline build lives in the session-scoped ``tiny_system``)
+and per-test isolation keeps golden counter/generation assertions exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import TopologyServer
+from repro.service.http import TestClient, create_app
+
+
+@pytest.fixture()
+def server(tiny_system):
+    with TopologyServer(tiny_system) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def app(server):
+    with create_app(server, stream_chunk_rows=8) as application:
+        yield application
+
+
+@pytest.fixture()
+def client(app):
+    with TestClient(app) as c:
+        yield c
+
+
+def valid_query(**overrides) -> dict:
+    """A known-good ``POST /query`` body against ``tiny_system``."""
+    body = {
+        "entity1": "Protein",
+        "entity2": "DNA",
+        "constraint1": {"kind": "keyword", "column": "DESC", "keyword": "kinase"},
+        "constraint2": {"kind": "attribute", "column": "TYPE", "value": "mRNA"},
+        "max_length": 3,
+        "k": 4,
+        "ranking": "rare",
+    }
+    body.update(overrides)
+    return body

@@ -1,0 +1,196 @@
+"""Property tests: no input — valid, hostile, or garbage — crashes the app.
+
+Hypothesis drives the full ASGI stack with arbitrary JSON documents,
+mutated valid requests, random byte bodies, and random routes.  The
+invariants under test:
+
+* the app always completes the response protocol (no hangs, no
+  mid-protocol exceptions — the test client raises if the app dies);
+* every response is a structured 2xx/4xx — arbitrary *input* must never
+  produce a 500, which is reserved for engine faults;
+* every error body obeys the pinned ``{"error": {code, message,
+  details}}`` envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service import TopologyServer
+from repro.service.http import MAX_K, MAX_LENGTH_BOUND, TestClient, create_app
+
+from tests.service.http.conftest import valid_query
+
+# One stack for the whole module: Hypothesis runs hundreds of examples
+# and must not pay a server+app+client rebuild for each.
+pytestmark = pytest.mark.usefixtures("prop_client")
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+INPUT_STATUSES = {200, 400, 413, 422}  # what arbitrary input may produce
+
+
+@pytest.fixture(scope="module")
+def prop_client(tiny_system):
+    with TopologyServer(tiny_system) as srv:
+        with create_app(srv, stream_chunk_rows=8) as app:
+            with TestClient(app) as client:
+                yield client
+
+
+def assert_structured(response):
+    """The cross-cutting postcondition for every response."""
+    assert response.status in INPUT_STATUSES | {404, 405}
+    payload = json.loads(response.body)  # body is always valid JSON
+    if response.status >= 400:
+        assert set(payload) == {"error"}
+        error = payload["error"]
+        assert set(error) == {"code", "message", "details"}
+        assert isinstance(error["code"], str)
+        assert isinstance(error["message"], str)
+        assert isinstance(error["details"], list)
+        for issue in error["details"]:
+            assert set(issue) == {"field", "message"}
+    return payload
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(10**6), 10**6)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=12), children, max_size=4),
+    max_leaves=25,
+)
+
+field_names = st.sampled_from(
+    [
+        "entity1",
+        "entity2",
+        "constraint1",
+        "constraint2",
+        "max_length",
+        "k",
+        "ranking",
+        "method",
+        "queries",
+        "parallel",
+        "mode",
+        "extra",
+    ]
+)
+
+constraint_trees = st.recursive(
+    st.fixed_dictionaries({"kind": st.sampled_from(["none", "keyword", "attribute", "and", "bogus"])}).flatmap(
+        lambda base: st.fixed_dictionaries(
+            {
+                "kind": st.just(base["kind"]),
+                "column": st.text(max_size=8) | st.integers(),
+                "keyword": st.text(max_size=8) | st.none(),
+                "value": json_values,
+                "op": st.sampled_from(["=", "!=", "<", ">", "<=", ">=", "~~"]),
+            }
+        )
+    ),
+    lambda children: st.fixed_dictionaries(
+        {"kind": st.just("and"), "parts": st.lists(children, max_size=3)}
+    ),
+    max_leaves=10,
+)
+
+
+class TestArbitraryInput:
+    @SETTINGS
+    @given(document=json_values)
+    def test_query_accepts_any_json_document(self, prop_client, document):
+        response = prop_client.post("/query", json=document)
+        assert_structured(response)
+
+    @SETTINGS
+    @given(overlay=st.dictionaries(field_names, json_values, max_size=5))
+    def test_mutated_valid_query_never_500s(self, prop_client, overlay):
+        body = valid_query()
+        body.update(overlay)
+        response = prop_client.post("/query", json=body)
+        payload = assert_structured(response)
+        if response.status == 200:
+            # Top-k answers are score-ranked; the stable invariant is
+            # count == len(tids) and scores (if any) descending.
+            assert payload["count"] == len(payload["tids"])
+            if payload["scores"] is not None:
+                assert payload["scores"] == sorted(payload["scores"], reverse=True)
+
+    @SETTINGS
+    @given(constraint=constraint_trees)
+    def test_arbitrary_constraint_trees(self, prop_client, constraint):
+        response = prop_client.post(
+            "/query", json=valid_query(constraint1=constraint)
+        )
+        assert_structured(response)
+
+    @SETTINGS
+    @given(document=json_values)
+    def test_query_many_accepts_any_json_document(self, prop_client, document):
+        response = prop_client.post("/query_many", json=document)
+        response_payload = assert_structured(response)
+        if response.status == 200:  # a valid batch slipped through:
+            lines = response.ndjson()  # then the stream must be complete
+            assert lines[-1]["done"] is True
+        else:
+            assert "error" in response_payload
+
+    @SETTINGS
+    @given(raw=st.binary(max_size=200))
+    def test_raw_bytes_never_crash(self, prop_client, raw):
+        response = prop_client.post("/query", body=raw)
+        assert_structured(response)
+
+    @SETTINGS
+    @given(
+        verb=st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+        path=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz/_", min_size=1, max_size=16
+        ).map(lambda s: "/" + s.lstrip("/")),
+    )
+    def test_random_routes_get_structured_404_405(self, prop_client, verb, path):
+        response = prop_client.request(verb, path, json_body={})
+        assert_structured(response)
+        if path not in ("/healthz", "/stats", "/query", "/query_many", "/explain", "/rebuild"):
+            assert response.status == 404
+
+
+class TestBoundsProperties:
+    @SETTINGS
+    @given(k=st.integers(-(10**9), 10**9))
+    def test_k_bounds_are_exact(self, prop_client, k):
+        response = prop_client.post("/query", json=valid_query(k=k))
+        payload = assert_structured(response)
+        if 1 <= k <= MAX_K:
+            assert response.status == 200
+        else:
+            assert response.status == 422
+            assert payload["error"]["details"][0]["field"] == "k"
+
+    @SETTINGS
+    @given(l=st.integers(-(10**9), 10**9))
+    def test_max_length_bounds_are_exact(self, prop_client, l):
+        response = prop_client.post("/query", json=valid_query(max_length=l))
+        payload = assert_structured(response)
+        if l == 3:  # the store's built l
+            assert response.status == 200
+        elif 1 <= l <= MAX_LENGTH_BOUND:  # shape-valid, store can't answer
+            assert response.status == 422
+            assert payload["error"]["code"] == "unsupported_query"
+        else:
+            assert response.status == 422
+            assert payload["error"]["code"] == "validation_error"

@@ -4,6 +4,9 @@ nearest-rank percentiles)."""
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.core import (
@@ -161,6 +164,96 @@ class TestNearestRankPercentile:
     def test_snapshot_uses_nearest_rank(self):
         stats = self.stats_with([0.1, 0.2, 0.3, 0.4])
         assert stats.snapshot()["p50_seconds"] == 0.2
+
+
+class TestSnapshotConsistency:
+    """snapshot() reads counters AND percentiles under ONE lock
+    acquisition.  The old implementation re-locked once per percentile,
+    so concurrent record() calls could slip between — a count from one
+    window and a p95 from another, served verbatim by ``GET /stats``."""
+
+    class CountingLock:
+        """Context-manager lock that counts acquisitions."""
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.acquisitions = 0
+
+        def __enter__(self):
+            self._lock.acquire()
+            self.acquisitions += 1
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release()
+
+    def test_snapshot_acquires_the_lock_exactly_once(self):
+        stats = LatencyStats("m")
+        for s in (0.1, 0.2, 0.3):
+            stats.record(s)
+        counter = self.CountingLock()
+        stats._lock = counter
+        snap = stats.snapshot()
+        assert counter.acquisitions == 1
+        assert snap["count"] == 3
+        assert snap["p99_seconds"] == 0.3
+
+    def test_snapshot_has_all_slo_percentiles(self):
+        snap = LatencyStats("m").snapshot()
+        assert {
+            "count",
+            "total_seconds",
+            "mean_seconds",
+            "min_seconds",
+            "max_seconds",
+            "p50_seconds",
+            "p95_seconds",
+            "p99_seconds",
+        } == set(snap)
+        assert snap["count"] == 0
+        assert snap["min_seconds"] == 0.0  # not math.inf on the wire
+
+    def test_every_snapshot_is_internally_consistent_under_races(self):
+        """Writers hammer record() while readers take snapshots; every
+        snapshot must describe ONE instant: ordered percentiles inside
+        the [min, max] envelope and mean == total/count exactly."""
+        stats = LatencyStats("m")
+        stop = threading.Event()
+        bad = []
+
+        def writer(seed: int) -> None:
+            value = float(seed + 1)
+            while not stop.is_set():
+                stats.record(value % 7 + 0.001)
+                value += 1.0
+
+        def reader() -> None:
+            while not stop.is_set():
+                snap = stats.snapshot()
+                if snap["count"] == 0:
+                    continue
+                ok = (
+                    snap["min_seconds"]
+                    <= snap["p50_seconds"]
+                    <= snap["p95_seconds"]
+                    <= snap["p99_seconds"]
+                    <= snap["max_seconds"]
+                    and snap["mean_seconds"] == snap["total_seconds"] / snap["count"]
+                )
+                if not ok:
+                    bad.append(snap)
+
+        threads = [
+            threading.Thread(target=writer, args=(n,)) for n in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert bad == []
+        assert stats.count > 0
 
 
 # ----------------------------------------------------------------------
