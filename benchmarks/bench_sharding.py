@@ -1,0 +1,429 @@
+"""Sharded serving benchmark: scatter-gather speedup, per-shard memory,
+rebuild under live HTTP load.
+
+Three claims about the sharded store (:mod:`repro.shard` +
+:class:`~repro.service.ShardCoordinator`) are measured:
+
+* **Scatter-gather answers are identical and faster.**  A cache-busting
+  workload runs against one engine and against a 4-shard coordinator
+  (one warm worker process per shard).  Answer equality — tids *and*
+  scores, every query — is enforced unconditionally, at every scale, on
+  every machine.  The >= 2x throughput floor is enforced only where 2x
+  is physically reachable (>= 4 cores); on smaller machines the scaling
+  is report-only.
+
+* **A shard worker fits under the single-engine memory budget.**  Peak
+  RSS is measured in *subprocesses* (one clean interpreter per
+  measurement, ``ru_maxrss``): each shard-serving process must stay at
+  or under what one whole-store process needs — the property that lets
+  a shard set scale past one machine's memory.
+
+* **Generation commits are invisible to HTTP traffic.**  Readers hammer
+  ``POST /query`` over real sockets while ``POST /rebuild`` commits a
+  new shard generation with provably different answers.  Zero failed
+  requests and zero torn (mixed-generation) results are enforced,
+  everywhere.
+
+Machine-readable results land in ``BENCH_sharding.json`` at the repo
+root so the trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.analysis import render_table
+from repro.core import KeywordConstraint, NoConstraint, TopologyQuery
+from repro.persist import save_system
+from repro.service import ShardCoordinator
+from repro.service.http import HttpServerThread, create_app
+from repro.shard import split_system
+
+from benchmarks.common import emit, emit_json, private_system
+
+NUM_SHARDS = 4
+SCALING_FLOOR = 2.0
+REBUILD_READERS = 6
+#: Per-shard peak RSS budget as a fraction of the single-engine peak.
+#: The store slice shrinks ~1/N but the interpreter + replicated base
+#: tables do not, so the enforced bound is "no worse than one engine",
+#: with 5% for allocator noise.
+RSS_BUDGET_RATIO = 1.05
+
+KEYWORDS = [
+    "kinase", "binding", "human", "putative", "conserved", "receptor",
+    "membrane", "transcription",
+]
+
+
+def _workload(repeat: int = 3) -> List[TopologyQuery]:
+    """Cache-busting: every query distinct, both ranked and exhaustive
+    merge shapes represented."""
+    queries = []
+    for r in range(repeat):
+        for i, keyword in enumerate(KEYWORDS):
+            queries.append(
+                TopologyQuery(
+                    "Protein",
+                    "DNA",
+                    KeywordConstraint("DESC", keyword),
+                    NoConstraint(),
+                    k=2 + (i % 4) + 4 * r,
+                    ranking=("freq", "rare")[i % 2],
+                )
+            )
+    return queries
+
+
+def _parallel_capable() -> bool:
+    return (os.cpu_count() or 1) >= NUM_SHARDS
+
+
+def test_scatter_gather_equality_and_throughput():
+    system = private_system()
+    workload = _workload()
+
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as directory:
+        split = split_system(system, NUM_SHARDS, directory)
+
+        # -- Serial baseline: one engine, one thread --------------------
+        start = time.perf_counter()
+        serial_results = [system.search(q) for q in workload]
+        serial_seconds = time.perf_counter() - start
+
+        with ShardCoordinator(split.manifest_path) as coordinator:
+            # Warm the per-shard workers off the clock (a deployment
+            # pays process start + snapshot restore once, not per batch).
+            coordinator.query_many(workload[:NUM_SHARDS])
+            start = time.perf_counter()
+            merged_results = coordinator.query_many(workload)
+            scatter_seconds = time.perf_counter() - start
+            histogram = list(coordinator.partition_histogram())
+            skew = coordinator.partition_skew()
+
+    # -- Equality floor: unconditional, every query, tids AND scores ----
+    mismatches = sum(
+        1
+        for mine, theirs in zip(merged_results, serial_results)
+        if mine.tids != theirs.tids or mine.scores != theirs.scores
+    )
+    assert mismatches == 0, (
+        f"{mismatches}/{len(workload)} scatter-gather answers differ "
+        f"from the single-engine reference"
+    )
+
+    serial_qps = len(workload) / max(serial_seconds, 1e-9)
+    scatter_qps = len(workload) / max(scatter_seconds, 1e-9)
+    scaling = scatter_qps / serial_qps
+    cores = os.cpu_count() or 1
+    enforce = _parallel_capable()
+
+    emit(
+        "sharding_throughput",
+        render_table(
+            ["mode", "queries/s", "vs serial", "floor"],
+            [
+                ["single engine (1 thread)", f"{serial_qps:.1f}", "1.00x", "-"],
+                [
+                    f"scatter-gather ({NUM_SHARDS} shards)",
+                    f"{scatter_qps:.1f}",
+                    f"{scaling:.2f}x",
+                    f">={SCALING_FLOOR:.0f}x"
+                    if enforce
+                    else f"report only ({cores} core(s))",
+                ],
+            ],
+            title=(
+                f"Sharded throughput, {len(workload)} distinct queries, "
+                f"routing skew {skew:.2f}x"
+            ),
+        ),
+    )
+    emit_json(
+        "sharding",
+        {
+            "scatter_gather": {
+                "num_shards": NUM_SHARDS,
+                "cores": cores,
+                "workload_queries": len(workload),
+                "equality_mismatches": mismatches,
+                "serial_qps": serial_qps,
+                "scatter_qps": scatter_qps,
+                "scaling": scaling,
+                "scaling_floor": SCALING_FLOOR,
+                "floor_enforced": enforce,
+                "row_histogram": histogram,
+                "skew": skew,
+            }
+        },
+    )
+    if enforce:
+        assert scaling >= SCALING_FLOOR, (
+            f"scatter-gather must reach >={SCALING_FLOOR}x single-engine "
+            f"throughput with {NUM_SHARDS} shards on {cores} cores; got "
+            f"{scaling:.2f}x ({serial_qps:.1f} -> {scatter_qps:.1f} q/s)"
+        )
+
+
+_RSS_SCRIPT = """
+import json, resource, sys
+from repro.core import KeywordConstraint, NoConstraint, TopologyQuery
+from repro.persist import load_system
+
+system = load_system(sys.argv[1])
+query = TopologyQuery(
+    "Protein", "DNA",
+    KeywordConstraint("DESC", "kinase"), NoConstraint(),
+    k=4, ranking="freq",
+)
+result = system.search(query)
+print(json.dumps({
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "tids": result.tids,
+}))
+"""
+
+
+def _peak_rss_kb(snapshot_path: str) -> int:
+    """Peak RSS of a clean subprocess that restores ``snapshot_path``
+    and serves one query — the footprint of a serving worker."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_SCRIPT, snapshot_path],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return int(json.loads(proc.stdout)["ru_maxrss_kb"])
+
+
+def test_per_shard_memory_under_single_engine_budget():
+    system = private_system()
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as directory:
+        split = split_system(system, NUM_SHARDS, directory)
+        whole_path = os.path.join(directory, "whole.topo")
+        save_system(system, whole_path)
+
+        whole_kb = _peak_rss_kb(whole_path)
+        shard_kb = [_peak_rss_kb(path) for path in split.shard_paths]
+        file_bytes = list(split.file_bytes)
+        whole_bytes = os.path.getsize(whole_path)
+
+    worst_kb = max(shard_kb)
+    ratio = worst_kb / max(whole_kb, 1)
+    emit(
+        "sharding_memory",
+        render_table(
+            ["process", "peak RSS", "vs single engine", "snapshot bytes"],
+            [
+                ["single engine", f"{whole_kb} KiB", "1.00x", str(whole_bytes)],
+                *[
+                    [
+                        f"shard {i}/{NUM_SHARDS}",
+                        f"{kb} KiB",
+                        f"{kb / max(whole_kb, 1):.2f}x",
+                        str(file_bytes[i]),
+                    ]
+                    for i, kb in enumerate(shard_kb)
+                ],
+            ],
+            title=f"Per-worker peak RSS (budget <= {RSS_BUDGET_RATIO:.2f}x)",
+        ),
+    )
+    emit_json(
+        "sharding",
+        {
+            "memory": {
+                "num_shards": NUM_SHARDS,
+                "single_engine_rss_kb": whole_kb,
+                "shard_rss_kb": shard_kb,
+                "worst_shard_rss_kb": worst_kb,
+                "worst_over_single": ratio,
+                "budget_ratio": RSS_BUDGET_RATIO,
+                "single_snapshot_bytes": whole_bytes,
+                "shard_snapshot_bytes": file_bytes,
+            }
+        },
+    )
+    assert ratio <= RSS_BUDGET_RATIO, (
+        f"worst shard worker peaks at {worst_kb} KiB = {ratio:.2f}x the "
+        f"single-engine {whole_kb} KiB; budget is {RSS_BUDGET_RATIO:.2f}x"
+    )
+
+
+def _wire_query(keyword: str, k: int) -> dict:
+    return {
+        "entity1": "Protein",
+        "entity2": "DNA",
+        "constraint1": {"kind": "keyword", "column": "DESC", "keyword": keyword},
+        "constraint2": {"kind": "none"},
+        "k": k,
+        "ranking": ("freq", "rare")[k % 2],
+    }
+
+
+def test_shard_rebuild_under_live_http_load():
+    import http.client
+
+    wire_workload = [_wire_query(kw, 2 + i % 4) for i, kw in enumerate(KEYWORDS)]
+    system = private_system()
+
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as directory:
+        split = split_system(system, NUM_SHARDS, directory)
+        with ShardCoordinator(split.manifest_path) as coordinator:
+            oracles: Dict[int, Dict[int, List[int]]] = {}
+
+            def snapshot_oracle() -> None:
+                from repro.service.http.schemas import parse_query_request
+
+                oracles[coordinator.generation] = {
+                    i: list(
+                        coordinator.query(parse_query_request(body)[0]).tids
+                    )
+                    for i, body in enumerate(wire_workload)
+                }
+
+            snapshot_oracle()
+            with create_app(
+                coordinator,
+                max_concurrency=REBUILD_READERS + 2,
+                max_queue=64,
+                rebuild_timeout=1800.0,
+            ) as app:
+                with HttpServerThread(app) as base_url:
+                    host = base_url.split("//", 1)[1]
+                    stop = threading.Event()
+                    observed: List[Tuple[int, int, List[int]]] = []
+                    failed: List[Tuple[int, bytes]] = []
+                    lock = threading.Lock()
+                    barrier = threading.Barrier(REBUILD_READERS + 1)
+
+                    def reader(offset: int) -> None:
+                        conn = http.client.HTTPConnection(host, timeout=120.0)
+                        try:
+                            barrier.wait()
+                            i = 0
+                            local_ok, local_bad = [], []
+                            while not stop.is_set() or i == 0:
+                                index = (offset + i) % len(wire_workload)
+                                body = json.dumps(wire_workload[index]).encode()
+                                conn.request(
+                                    "POST",
+                                    "/query",
+                                    body,
+                                    {"Content-Type": "application/json"},
+                                )
+                                response = conn.getresponse()
+                                data = response.read()
+                                if response.status != 200:
+                                    local_bad.append((response.status, data))
+                                else:
+                                    payload = json.loads(data)
+                                    local_ok.append(
+                                        (
+                                            payload["generation"],
+                                            index,
+                                            payload["tids"],
+                                        )
+                                    )
+                                i += 1
+                            with lock:
+                                observed.extend(local_ok)
+                                failed.extend(local_bad)
+                        finally:
+                            conn.close()
+
+                    threads = [
+                        threading.Thread(target=reader, args=(n,))
+                        for n in range(REBUILD_READERS)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    rebuild_conn = http.client.HTTPConnection(
+                        host, timeout=1800.0
+                    )
+                    try:
+                        barrier.wait()
+                        start = time.perf_counter()
+                        rebuild_conn.request(
+                            "POST",
+                            "/rebuild",
+                            json.dumps({"per_pair_path_limit": 1}).encode(),
+                            {"Content-Type": "application/json"},
+                        )
+                        response = rebuild_conn.getresponse()
+                        rebuild_body = response.read()
+                        rebuild_seconds = time.perf_counter() - start
+                        assert response.status == 200, rebuild_body
+                        snapshot_oracle()
+                    finally:
+                        stop.set()
+                        for thread in threads:
+                            thread.join(timeout=600)
+                        rebuild_conn.close()
+
+            stats = coordinator.stats()
+
+    torn = sum(
+        1
+        for generation, index, tids in observed
+        if oracles[generation][index] != tids
+    )
+    per_generation = {
+        generation: sum(1 for g, _, _ in observed if g == generation)
+        for generation in sorted(oracles)
+    }
+    assert (
+        oracles[1] != oracles[2]
+    ), "generations must disagree for a real torn-read check"
+    emit(
+        "sharding_rebuild",
+        render_table(
+            ["metric", "value"],
+            [
+                ["reader threads", str(REBUILD_READERS)],
+                ["responses observed", str(len(observed))],
+                ["failed responses", str(len(failed))],
+                ["torn (mixed-generation) results", str(torn)],
+                ["per-generation counts", str(per_generation)],
+                ["rebuild wall", f"{rebuild_seconds:.2f} s"],
+            ],
+            title="Shard generation commit under live HTTP load",
+        ),
+    )
+    emit_json(
+        "sharding",
+        {
+            "rebuild_under_load": {
+                "num_shards": NUM_SHARDS,
+                "cores": os.cpu_count() or 1,
+                "reader_threads": REBUILD_READERS,
+                "responses_observed": len(observed),
+                "failed_responses": len(failed),
+                "torn_results": torn,
+                "per_generation_counts": {
+                    str(k): v for k, v in per_generation.items()
+                },
+                "rebuild_seconds": rebuild_seconds,
+                "requests": stats.requests,
+                "executions": stats.executions,
+                "coalesced": stats.coalesced,
+            }
+        },
+    )
+    assert failed == [], f"{len(failed)} requests failed during the commit"
+    assert torn == 0, f"{torn} results mixed generations"
+    assert len(observed) > 0
+    assert stats.result_cache.hits + stats.result_cache.misses == stats.requests
+    assert stats.result_cache.misses == stats.executions + stats.coalesced

@@ -16,13 +16,16 @@ Packages:
   (hash-bucketed fan-out, serial-order merge, bit-identical output);
 * :mod:`repro.persist` — schema-versioned SQLite snapshots of a built
   system (save once, cold-start in milliseconds);
+* :mod:`repro.shard` — split a built store into verified
+  self-contained shard snapshots (routed by the partition hash);
 * :mod:`repro.service` — the online query service: LRU result cache,
-  batched execution, per-method latency statistics;
+  batched execution, per-method latency statistics, and the
+  scatter-gather shard coordinator;
 * :mod:`repro.analysis` — frequency distributions, Zipf fits, report
   rendering for the benchmark harnesses.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core import (
     AttributeConstraint,

@@ -49,3 +49,21 @@ class TopologyError(ReproError):
 
 class GeneratorError(ReproError):
     """Invalid synthetic-database generator configuration."""
+
+
+class ShardError(TopologyError):
+    """Inconsistent shard set: mismatched routing metadata, missing or
+    duplicate shard indices, or a split that fails verification."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard backend did not answer: its worker process is dead or its
+    reply queue timed out.  Carries which shard and how long a client
+    should wait before retrying — the HTTP layer maps this to
+    ``503 shard_unavailable`` + ``Retry-After``."""
+
+    def __init__(self, shard_index: int, reason: str, retry_after: int = 1) -> None:
+        self.shard_index = shard_index
+        self.reason = reason
+        self.retry_after = max(1, int(retry_after))
+        super().__init__(f"shard {shard_index} unavailable: {reason}")

@@ -31,6 +31,7 @@ from repro.parallel.build import (
     compute_alltops_parallel,
 )
 from repro.parallel.partition import (
+    histogram_skew,
     partition_histogram,
     partition_sources,
     stable_partition,
@@ -41,6 +42,7 @@ __all__ = [
     "ParallelBuildReport",
     "TaskTiming",
     "compute_alltops_parallel",
+    "histogram_skew",
     "partition_histogram",
     "partition_sources",
     "stable_partition",

@@ -71,3 +71,18 @@ def partition_histogram(
     for node_id in sources:
         counts[stable_partition(node_id, num_partitions)] += 1
     return tuple(counts)
+
+
+def histogram_skew(counts: Sequence[int]) -> float:
+    """Max bucket over mean bucket (1.0 = perfectly balanced).
+
+    The load-balance figure of merit for both the partitioned build and
+    the sharded store: scatter-gather latency is the *slowest* bucket,
+    so a skew of S means fan-out buys at most ``num_buckets / S`` of its
+    nominal speedup.  An empty or all-empty histogram reports 1.0."""
+    if not counts:
+        return 1.0
+    mean = sum(counts) / len(counts)
+    if mean <= 0:
+        return 1.0
+    return max(counts) / mean

@@ -12,6 +12,7 @@ from repro.persist.snapshot import (
     SCHEMA_VERSION,
     SnapshotInfo,
     load_system,
+    read_store_state,
     save_system,
     snapshot_info,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SnapshotInfo",
     "load_system",
+    "read_store_state",
     "save_system",
     "snapshot_info",
 ]

@@ -136,14 +136,23 @@ class SnapshotInfo:
     # Cost-calibration state (repro.core.plan); None for snapshots
     # written before the plan layer existed.
     calibration: Optional[Dict[str, Any]] = None
+    # Shard membership (repro.shard): index/count/scheme/set_id for a
+    # snapshot that is one shard of a sharded store; None for whole
+    # (unsharded) snapshots.
+    shard: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def save_system(system, path) -> None:
+def save_system(system, path, shard: Optional[Dict[str, Any]] = None) -> None:
     """Serialize a built system (base relations + topology store) to a
-    single SQLite file at ``path``.  Overwrites atomically."""
+    single SQLite file at ``path``.  Overwrites atomically.
+
+    ``shard`` optionally records shard membership (index, count,
+    routing scheme, set id — see :mod:`repro.shard`) in the snapshot
+    meta; a shard snapshot is otherwise a perfectly normal snapshot and
+    loads with :func:`load_system` like any other."""
     store = system.require_store()
     state = store.export_state()
     target = os.fspath(path)
@@ -156,7 +165,7 @@ def save_system(system, path) -> None:
     conn = sqlite3.connect(tmp)
     try:
         conn.executescript(_DDL)
-        _write_meta(conn, system, state)
+        _write_meta(conn, system, state, shard)
         _write_base_tables(conn, system.database)
         _write_store(conn, state)
         conn.commit()
@@ -165,7 +174,12 @@ def save_system(system, path) -> None:
     os.replace(tmp, target)
 
 
-def _write_meta(conn: sqlite3.Connection, system, state: Dict[str, Any]) -> None:
+def _write_meta(
+    conn: sqlite3.Connection,
+    system,
+    state: Dict[str, Any],
+    shard: Optional[Dict[str, Any]] = None,
+) -> None:
     alltops_table_empty = (
         system.database.has_table("AllTops")
         and system.database.table("AllTops").row_count == 0
@@ -192,6 +206,10 @@ def _write_meta(conn: sqlite3.Connection, system, state: Dict[str, Any]) -> None
         "calibration": system.calibrator.export_state(),
         "saved_at": time.time(),
     }
+    if shard is not None:
+        # Shard membership (repro.shard).  An optional key: pre-shard
+        # engines simply never read it, so the format version holds.
+        meta["shard"] = dict(shard)
     conn.executemany(
         "INSERT INTO meta (key, value) VALUES (?, ?)",
         [(k, json.dumps(v)) for k, v in meta.items()],
@@ -488,6 +506,28 @@ def _read_store_state(
     }
 
 
+def read_store_state(path) -> Dict[str, Any]:
+    """The store state of a snapshot, as :meth:`TopologyStore.export_state`
+    would produce it — without restoring the base database or
+    materializing anything.
+
+    The cheap path for tooling that only inspects the *derived* data:
+    shard-split verification (:mod:`repro.shard.verify`) compares
+    per-shard states against an unsharded reference without paying N
+    full restores."""
+    target = os.fspath(path)
+    if not os.path.exists(target):
+        raise TopologyError(f"snapshot {target!r} does not exist")
+    conn = sqlite3.connect(f"file:{target}?mode=ro", uri=True)
+    try:
+        with _snapshot_errors(target):
+            meta = _read_meta(conn, target)
+            state = _read_store_state(conn, meta)
+    finally:
+        conn.close()
+    return state
+
+
 # ----------------------------------------------------------------------
 # Inspection
 # ----------------------------------------------------------------------
@@ -529,6 +569,7 @@ def snapshot_info(path) -> SnapshotInfo:
                 saved_at=meta.get("saved_at", 0.0),
                 build_config=meta.get("build_config"),
                 calibration=meta.get("calibration"),
+                shard=meta.get("shard"),
             )
     finally:
         conn.close()

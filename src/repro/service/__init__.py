@@ -1,6 +1,6 @@
 """Online query serving: cached, batched, instrumented — and concurrent.
 
-Two front ends share the same thread-safe machinery:
+Three front ends share the same thread-safe machinery:
 
 :class:`TopologyService`
     The single-caller facade: LRU result cache, batching, latency
@@ -13,6 +13,12 @@ Two front ends share the same thread-safe machinery:
     of identical concurrent queries, and plan-class-grouped parallel
     ``query_many`` over thread or replica-process pools.
 
+:class:`ShardCoordinator`
+    The same serving surface over a *sharded* store (:mod:`repro.shard`):
+    one warm worker process per shard, total scatter-gather per query
+    with a paper-identical top-k merge, and all-or-nothing generation
+    commits for rebuilds.
+
 >>> from repro.service import TopologyServer
 >>> server = TopologyServer.from_snapshot("biozon.topo")
 >>> result = server.query(query)             # engine execution
@@ -23,6 +29,11 @@ Two front ends share the same thread-safe machinery:
 """
 
 from repro.service.cache import MISSING, CacheStats, LRUCache
+from repro.service.coordinator import (
+    CoordinatorStats,
+    ScatterPlan,
+    ShardCoordinator,
+)
 from repro.service.facade import (
     DEFAULT_METHOD,
     LatencyStats,
@@ -33,12 +44,15 @@ from repro.service.server import ReadWriteLock, ServerStats, TopologyServer
 
 __all__ = [
     "CacheStats",
+    "CoordinatorStats",
     "DEFAULT_METHOD",
     "LRUCache",
     "LatencyStats",
     "MISSING",
     "ReadWriteLock",
+    "ScatterPlan",
     "ServerStats",
+    "ShardCoordinator",
     "TopologyServer",
     "TopologyService",
     "resolve_rebuild_config",

@@ -1,0 +1,644 @@
+"""Scatter-gather serving over a sharded topology store.
+
+:class:`ShardCoordinator` serves the same surface as
+:class:`~repro.service.TopologyServer` — ``query`` / ``query_many`` /
+``explain`` / ``rebuild`` / ``stats`` / ``latency_stats`` /
+``generation`` — so :class:`~repro.service.http.TopologyHttpApp` fronts
+either without knowing which it got.  Underneath, instead of one shared
+engine, it opens a shard set (:mod:`repro.shard`) and keeps one warm
+worker *process* per shard (:class:`~repro.service.replica.ShardBackend`),
+so a query's per-shard executions run truly in parallel on a GIL
+interpreter and each shard process only ever pages its own slice of
+AllTops/LeftTops.
+
+**Every query fans out to every shard.**  Routing is by data (the E1
+endpoint of each stored row), not by query — a query's answer can draw
+rows from any bucket — so the scatter is total and correctness comes
+from the merge:
+
+* exhaustive methods (no scores): per-shard tid sets are disjointly
+  routed subsets of the global answer; the merge is set union, sorted
+  ascending exactly as the engine orders exhaustive results;
+* top-k methods: every shard ranks its candidates with **global**
+  scores (TopInfo is replicated), so each shard's local top-k is the
+  restriction of the global top-k order to its rows; the merge unions
+  the score maps, re-ranks with the engine's own ordering
+  (score desc, tid desc) and cuts at k — identical to the unsharded
+  answer, as the equality tests assert method by method.
+
+The scatter *plan* — which merge applies, driven by the method's
+declared shape — is computed once per query class and memoized; per
+query, only the fan-out and merge run.
+
+**Failure modes are loud.**  A dead or wedged shard worker surfaces as
+:class:`~repro.errors.ShardUnavailableError` after its reply deadline
+(the HTTP layer maps it to ``503 shard_unavailable`` + ``Retry-After``);
+a partial answer is never returned.  Every worker reply is stamped with
+(shard index, generation) and checked at the gather.
+
+**Rebuild is all-or-nothing.**  ``rebuild()`` builds a successor system
+from a clone of the (replicated) base relations, splits it into a fresh
+shard set in a new generation directory, starts and pings a full set of
+new backends, and only then — under the exclusive write lease — swaps
+backends, manifest, and generation in one step and drops the result
+cache.  Any failure before the swap closes the new backends and leaves
+the serving generation untouched; readers never observe a mixed set.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.methods import METHOD_CLASSES, MethodResult
+from repro.core.plan import PlanCacheStats, QueryPlan
+from repro.core.query import TopologyQuery
+from repro.errors import ShardError, ShardUnavailableError, TopologyError
+from repro.parallel.partition import histogram_skew
+from repro.service.cache import MISSING, CacheStats, LRUCache
+from repro.service.facade import (
+    DEFAULT_METHOD,
+    LatencyStats,
+    resolve_rebuild_config,
+)
+from repro.service.replica import ShardBackend
+from repro.service.server import ReadWriteLock, _Flight
+from repro.shard.build import SKEW_WARNING_THRESHOLD
+from repro.shard.manifest import ShardManifest, read_manifest
+
+__all__ = ["CoordinatorStats", "ScatterPlan", "ShardCoordinator"]
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """How answers from the shards merge for one query class.
+
+    ``ranked`` mirrors the method's declared shape (``Method.is_topk``):
+    ranked methods merge by global-score re-rank + cut, exhaustive ones
+    by sorted set union.  An exhaustive method still merges ranked for
+    an individual query that carries a top-k cut-off (see
+    :meth:`ShardCoordinator._merge`)."""
+
+    method: str
+    ranked: bool
+
+
+@dataclass(frozen=True)
+class CoordinatorStats:
+    """Counter snapshot for one :class:`ShardCoordinator`.
+
+    Field-compatible with :class:`~repro.service.server.ServerStats`
+    (same invariants: ``hits + misses == requests``, ``misses ==
+    executions + coalesced``) so the HTTP stats serializer applies
+    unchanged; ``shards`` adds the per-shard sections (routing load,
+    health counters, skew)."""
+
+    generation: int
+    requests: int
+    executions: int
+    coalesced: int
+    failures: int
+    rebuilds: int
+    restores: int
+    in_flight: int
+    result_cache: CacheStats
+    plan_cache: PlanCacheStats
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class ShardCoordinator:
+    """Scatter-gather query serving over one shard set.
+
+    Open with a manifest path (or parsed
+    :class:`~repro.shard.ShardManifest`); construction starts one
+    backend process per shard and pings each, so a coordinator that
+    constructed successfully is serving.  Use as a context manager or
+    call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        manifest,
+        cache_size: int = 4096,
+        default_method: str = DEFAULT_METHOD,
+        shard_timeout: float = 30.0,
+        retry_after: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if not isinstance(manifest, ShardManifest):
+            manifest = read_manifest(manifest)
+        self.default_method = default_method.lower()
+        self.shard_timeout = shard_timeout
+        self.retry_after = retry_after
+        self._start_method = start_method
+        self._rw = ReadWriteLock()
+        self._manifest = manifest
+        self._generation = 1
+        self._cache = LRUCache(cache_size)
+        self._flights: Dict[Tuple[str, TopologyQuery], _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._latency: Dict[str, LatencyStats] = {}
+        self._latency_lock = threading.Lock()
+        self._writer_mutex = threading.Lock()
+        self._scatter_plans: Dict[str, ScatterPlan] = {}
+        self._shard_counters: List[Dict[str, int]] = [
+            {"calls": 0, "failures": 0, "timeouts": 0}
+            for _ in range(manifest.count)
+        ]
+        self._counter_lock = threading.Lock()
+        self._shard_rows: List[int] = self._count_routed_rows(manifest)
+        self._owned_dir: Optional[str] = None  # generation dir we created
+        self._closed = False
+        self._requests = 0
+        self._executions = 0
+        self._coalesced = 0
+        self._failures = 0
+        self._rebuilds = 0
+        self._backends = self._start_backends(manifest, self._generation)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_routed_rows(manifest: ShardManifest) -> List[int]:
+        from repro.persist import snapshot_info
+
+        rows = []
+        for path in manifest.shard_paths:
+            info = snapshot_info(path)
+            rows.append(info.alltops_rows + info.lefttops_rows)
+        return rows
+
+    def _start_backends(
+        self, manifest: ShardManifest, generation: int
+    ) -> List[ShardBackend]:
+        """Start and verify one backend per shard — all or none.
+
+        Backends are started first (process spawn overlaps across
+        shards) and pinged second; the ping both warms the worker and
+        checks its (shard index, generation) stamp."""
+        backends: List[ShardBackend] = []
+        try:
+            for index, path in enumerate(manifest.shard_paths):
+                backends.append(
+                    ShardBackend(
+                        index,
+                        path,
+                        generation,
+                        timeout=self.shard_timeout,
+                        retry_after=self.retry_after,
+                        start_method=self._start_method,
+                    )
+                )
+            calls = [backend.submit("ping") for backend in backends]
+            for call in calls:
+                call.result()
+        except BaseException:
+            for backend in backends:
+                backend.close()
+            raise
+        return backends
+
+    def close(self) -> None:
+        """Stop every shard backend (idempotent)."""
+        with self._writer_mutex:
+            self._closed = True
+            backends, self._backends = self._backends, []
+        for backend in backends:
+            backend.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def generation(self) -> int:
+        """The serving generation (1-based; bumped by every commit)."""
+        return self._generation
+
+    @property
+    def num_shards(self) -> int:
+        return self._manifest.count
+
+    @property
+    def manifest(self) -> ShardManifest:
+        """The manifest of the currently serving generation."""
+        return self._manifest
+
+    # ------------------------------------------------------------------
+    # Scatter planning
+    # ------------------------------------------------------------------
+    def scatter_plan(self, method: Optional[str] = None) -> ScatterPlan:
+        """The (memoized) merge plan for a method's query class."""
+        name = (method or self.default_method).lower()
+        plan = self._scatter_plans.get(name)
+        if plan is None:
+            cls = METHOD_CLASSES.get(name)
+            if cls is None:
+                raise TopologyError(f"unknown method {name!r}")
+            plan = ScatterPlan(method=name, ranked=cls.is_topk)
+            self._scatter_plans[name] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def query(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> MethodResult:
+        """Evaluate one query across every shard and merge.
+
+        Caching, single-flight deduplication and generation stamping
+        behave exactly like :meth:`TopologyServer.query`; the engine
+        execution is replaced by a scatter to all shard backends and a
+        paper-identical merge of their partial answers."""
+        name = (method or self.default_method).lower()
+        with self._rw.read_locked():
+            return self._query_locked(name, query)
+
+    def _query_locked(self, name: str, query: TopologyQuery) -> MethodResult:
+        backends = self._backends
+        generation = self._generation
+        key = (name, query)
+        with self._flight_lock:
+            self._requests += 1
+            cached = self._cache.get(key, MISSING)
+            if cached is not MISSING:
+                return cached
+            flight = self._flights.get(key)
+            owner = flight is None
+            if owner:
+                flight = _Flight()
+                self._flights[key] = flight
+                self._executions += 1
+            else:
+                self._coalesced += 1
+        if not owner:
+            return flight.wait()
+        try:
+            merged = self._scatter_merge(
+                backends, generation, name, [(0, query)]
+            )
+            result = merged[0]
+        except BaseException as error:
+            with self._flight_lock:
+                self._failures += 1
+                self._flights.pop(key, None)
+            flight.fail(error)
+            raise
+        with self._flight_lock:
+            self._cache.put(key, result)
+            self._flights.pop(key, None)
+        flight.resolve(result)
+        return result
+
+    def query_many(
+        self,
+        queries: Iterable[TopologyQuery],
+        method: Optional[str] = None,
+        parallel: Optional[int] = None,
+        mode: str = "thread",
+    ) -> List[MethodResult]:
+        """Evaluate a batch, returning results in submission order.
+
+        The whole uncached remainder of the batch ships to every shard
+        as **one** op per shard — the scatter is inherently
+        process-parallel (one worker per shard), so ``parallel`` and
+        ``mode`` are accepted for surface compatibility and ignored.
+        Duplicates inside the batch scatter once and share the merged
+        result; everything folds into the result cache."""
+        batch = list(queries)
+        name = (method or self.default_method).lower()
+        if mode not in ("thread", "process"):
+            raise TopologyError(f"unknown query_many mode {mode!r}")
+        if not batch:
+            return []
+        with self._rw.read_locked():
+            backends = self._backends
+            generation = self._generation
+            results: List[Optional[MethodResult]] = [None] * len(batch)
+            # Batch-local dedup: one scatter slot per distinct query.
+            slots: Dict[Tuple[str, TopologyQuery], List[int]] = {}
+            with self._flight_lock:
+                self._requests += len(batch)
+                for index, query in enumerate(batch):
+                    key = (name, query)
+                    cached = self._cache.get(key, MISSING)
+                    if cached is not MISSING:
+                        results[index] = cached
+                    else:
+                        slots.setdefault(key, []).append(index)
+                self._executions += len(slots)
+                self._coalesced += sum(
+                    len(positions) - 1 for positions in slots.values()
+                )
+            if slots:
+                items = [
+                    (slot, key[1]) for slot, key in enumerate(slots)
+                ]
+                try:
+                    merged = self._scatter_merge(
+                        backends, generation, name, items
+                    )
+                except BaseException:
+                    with self._flight_lock:
+                        self._failures += len(slots)
+                    raise
+                with self._flight_lock:
+                    for slot, (key, positions) in enumerate(slots.items()):
+                        result = merged[slot]
+                        self._cache.put(key, result)
+                        for index in positions:
+                            results[index] = result
+        return results  # type: ignore[return-value]  # every slot filled
+
+    def _scatter_merge(
+        self,
+        backends: Sequence[ShardBackend],
+        generation: int,
+        name: str,
+        items: Sequence[Tuple[int, TopologyQuery]],
+    ) -> Dict[int, MethodResult]:
+        """Fan ``items`` out to every backend, gather, merge per item.
+
+        Dispatch completes for *all* shards before the first gather
+        blocks, so shard executions overlap for their whole duration.
+        Any shard failing (dead worker, reply deadline) aborts the
+        whole call — never a partial merge."""
+        plan = self.scatter_plan(name)
+        if not backends:
+            raise TopologyError("coordinator is closed")
+        calls = []
+        for backend in backends:
+            self._bump_shard(backend.shard_index, "calls")
+            try:
+                calls.append(
+                    backend.submit("query_batch", (name, list(items)))
+                )
+            except ShardUnavailableError:
+                self._bump_shard(backend.shard_index, "failures")
+                raise
+        partials: Dict[int, List[MethodResult]] = {
+            index: [] for index, _ in items
+        }
+        for backend, call in zip(backends, calls):
+            try:
+                reply = call.result()
+            except ShardUnavailableError:
+                self._bump_shard(backend.shard_index, "timeouts")
+                self._bump_shard(backend.shard_index, "failures")
+                raise
+            except Exception:
+                self._bump_shard(backend.shard_index, "failures")
+                raise
+            for index, partial in reply:
+                partials[index].append(partial)
+        queries = dict(items)
+        merged: Dict[int, MethodResult] = {}
+        for index, parts in partials.items():
+            if len(parts) != len(backends):  # pragma: no cover - defensive
+                raise ShardError(
+                    f"query {index} got {len(parts)} partial answers "
+                    f"from {len(backends)} shards"
+                )
+            result = self._merge(plan, queries[index], parts)
+            result.generation = generation
+            self._record_latency(name, result.elapsed_seconds)
+            merged[index] = result
+        return merged
+
+    @staticmethod
+    def _merge(
+        plan: ScatterPlan,
+        query: TopologyQuery,
+        parts: Sequence[MethodResult],
+    ) -> MethodResult:
+        """Merge per-shard partial answers into the global answer.
+
+        Ranked merge re-applies the engine's own ordering — score
+        descending, tid descending on ties, cut at k (``Method._rank``)
+        — over the union of the shards' global-score maps.  Exhaustive
+        merge unions the routed tid subsets and sorts ascending, the
+        exhaustive methods' output order.
+
+        Which merge applies follows the *result* shape, not just the
+        method class: the exhaustive methods rank-and-cut too when the
+        query carries a ``k`` (they score the found set with the same
+        global TopInfo scores), so any query with ``k`` set merges
+        ranked."""
+        if plan.ranked or query.k is not None:
+            scored: Dict[int, float] = {}
+            for part in parts:
+                if part.scores is None:  # pragma: no cover - defensive
+                    raise ShardError(
+                        f"ranked method {plan.method} returned no scores"
+                    )
+                for tid, score in zip(part.tids, part.scores):
+                    scored[tid] = score
+            ordered = sorted(scored.items(), key=lambda kv: (-kv[1], -kv[0]))
+            if query.k is not None:
+                ordered = ordered[: query.k]
+            tids = [tid for tid, _ in ordered]
+            scores: Optional[List[float]] = [s for _, s in ordered]
+        else:
+            union = set()
+            for part in parts:
+                union.update(part.tids)
+            tids = sorted(union)
+            scores = None
+        work: Dict[str, int] = {"shards": len(parts)}
+        for part in parts:
+            for counter, amount in part.work.items():
+                work[counter] = work.get(counter, 0) + amount
+        return MethodResult(
+            method=plan.method,
+            query=query,
+            tids=tids,
+            scores=scores,
+            # The scatter overlaps shards, so the engine-time cost of
+            # the merged answer is the slowest shard, not the sum.
+            elapsed_seconds=max(p.elapsed_seconds for p in parts),
+            work=work,
+            plan=parts[0].plan,
+            planning_seconds=max(p.planning_seconds for p in parts),
+        )
+
+    def explain(
+        self, query: TopologyQuery, method: Optional[str] = None
+    ) -> QueryPlan:
+        """The plan shard 0 would execute for this query.
+
+        Plans are per-shard (each shard's optimizer prices its own
+        slice), but every shard sees the same query class and strategy
+        menu, so shard 0's plan is the representative one."""
+        name = (method or self.default_method).lower()
+        with self._rw.read_locked():
+            if not self._backends:
+                raise TopologyError("coordinator is closed")
+            return self._backends[0].call("explain", (query, name))
+
+    # ------------------------------------------------------------------
+    # Rebuild: all-or-nothing generation commit
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        **build_kwargs,
+    ):
+        """Rebuild the whole store and commit a new shard generation,
+        without interrupting traffic.
+
+        The offline phase runs on a clone of the (replicated) base
+        relations from shard 0 — outside all locks, so queries keep
+        flowing.  The successor is split into a fresh shard set under a
+        new generation directory (verified lossless), a complete set of
+        new backends is started and pinged, and only then does the
+        exclusive swap publish backends + manifest + generation in one
+        step.  On any failure the new backends are closed, the serving
+        set is untouched, and the error propagates: there is no state
+        in which a reader can see shards from two generations."""
+        from repro.persist import load_system
+        from repro.shard.build import split_system
+
+        with self._writer_mutex:
+            if self._closed:
+                raise TopologyError("coordinator is closed")
+            manifest = self._manifest
+            # Only rebuild bumps the generation and the writer mutex
+            # serializes rebuilds, so this read cannot go stale.
+            next_generation = self._generation + 1
+            reference = load_system(manifest.shard_path(0))
+            pairs, kwargs = resolve_rebuild_config(
+                reference, entity_pairs, build_kwargs
+            )
+            successor = reference.clone_base()
+            report = successor.build(pairs, **kwargs)
+            successor.restore_calibration(reference.calibrator.export_state())
+            generation_dir = tempfile.mkdtemp(
+                prefix=f"gen-{next_generation}-",
+                dir=os.path.dirname(manifest.path),
+            )
+            try:
+                split = split_system(
+                    successor, manifest.count, generation_dir, verify=True
+                )
+                new_manifest = read_manifest(split.manifest_path)
+                new_backends = self._start_backends(
+                    new_manifest, next_generation
+                )
+            except BaseException:
+                shutil.rmtree(generation_dir, ignore_errors=True)
+                raise
+            with self._rw.write_locked():
+                old_backends = self._backends
+                self._backends = new_backends
+                self._manifest = new_manifest
+                self._generation = next_generation
+                self._shard_rows = list(split.row_histogram)
+                self._cache.clear()
+            for backend in old_backends:
+                backend.close()
+            # Reclaim the generation directory this coordinator created
+            # for the now-retired set (never the operator's original).
+            retired_dir, self._owned_dir = self._owned_dir, generation_dir
+            if retired_dir is not None:
+                shutil.rmtree(retired_dir, ignore_errors=True)
+            with self._flight_lock:
+                self._rebuilds += 1
+            return report
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _bump_shard(self, index: int, counter: str) -> None:
+        with self._counter_lock:
+            self._shard_counters[index][counter] += 1
+
+    def _record_latency(self, name: str, seconds: float) -> None:
+        with self._latency_lock:
+            stats = self._latency.get(name)
+            if stats is None:
+                stats = self._latency.setdefault(name, LatencyStats(name))
+        stats.record(seconds)
+
+    def shard_sections(self) -> List[Dict[str, Any]]:
+        """Per-shard stats sections: identity, routed-row load, health
+        counters — plus the set-level skew on each entry's parent list
+        (see :meth:`stats`)."""
+        manifest = self._manifest
+        rows = list(self._shard_rows)
+        with self._counter_lock:
+            counters = [dict(c) for c in self._shard_counters]
+        return [
+            {
+                "index": index,
+                "path": manifest.shard_paths[index],
+                "set_id": manifest.set_id,
+                "scheme": manifest.scheme,
+                "routed_rows": rows[index] if index < len(rows) else 0,
+                **counters[index],
+            }
+            for index in range(manifest.count)
+        ]
+
+    def partition_histogram(self) -> Tuple[int, ...]:
+        """Routed rows (AllTops + LeftTops) per shard."""
+        return tuple(self._shard_rows)
+
+    def partition_skew(self) -> float:
+        """Max/mean of :meth:`partition_histogram` (1.0 = balanced)."""
+        return histogram_skew(self._shard_rows)
+
+    def stats(self) -> CoordinatorStats:
+        with self._flight_lock:
+            return CoordinatorStats(
+                generation=self._generation,
+                requests=self._requests,
+                executions=self._executions,
+                coalesced=self._coalesced,
+                failures=self._failures,
+                rebuilds=self._rebuilds,
+                restores=0,
+                in_flight=len(self._flights),
+                result_cache=self._cache.stats(),
+                # The coordinator does not plan; shards do.  A zeroed
+                # plan-cache section keeps the stats wire shape stable.
+                plan_cache=PlanCacheStats(
+                    hits=0, misses=0, size=0, capacity=0, invalidations=0
+                ),
+                shards=self.shard_sections(),
+            )
+
+    def shard_digests(self) -> List[str]:
+        """Each live backend's order-sensitive store digest, gathered in
+        parallel — the union of these (see :mod:`repro.shard.verify`)
+        proves what the workers are actually serving."""
+        with self._rw.read_locked():
+            backends = self._backends
+            calls = [backend.submit("digest") for backend in backends]
+            return [call.result() for call in calls]
+
+    def latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-method merged-result latency snapshots (slowest-shard
+        engine time; cache hits do not contribute)."""
+        with self._latency_lock:
+            items = sorted(self._latency.items())
+        return {name: stats.snapshot() for name, stats in items}
+
+    def skew_report(self) -> Dict[str, Any]:
+        """The /stats skew block: histogram, max/mean ratio, and the
+        structured warning flag when the serving set is imbalanced."""
+        skew = self.partition_skew()
+        return {
+            "row_histogram": list(self._shard_rows),
+            "skew": skew,
+            "skew_warning": skew > SKEW_WARNING_THRESHOLD,
+            "threshold": SKEW_WARNING_THRESHOLD,
+        }

@@ -54,7 +54,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import TopologyError
+from repro.errors import ShardUnavailableError, TopologyError
 from repro.service.http.admission import AdmissionGate, AdmissionRejected
 from repro.service.http.reqlog import RequestLog, RequestLogger
 from repro.service.http.schemas import (
@@ -335,6 +335,20 @@ class TopologyHttpApp:
 
     @staticmethod
     def _query_error(error: TopologyError) -> _HttpError:
+        if isinstance(error, ShardUnavailableError):
+            # A shard backend died or missed its reply deadline: the
+            # request was fine, the serving set is degraded.  Client
+            # contract: 503 + Retry-After, with the shard named so
+            # operators can see *which* worker to look at.
+            return _HttpError(
+                503,
+                "shard_unavailable",
+                str(error),
+                details=[
+                    {"field": "shard", "message": str(error.shard_index)}
+                ],
+                retry_after=error.retry_after,
+            )
         return _HttpError(422, "unsupported_query", str(error))
 
     # ------------------------------------------------------------------
@@ -351,6 +365,15 @@ class TopologyHttpApp:
         # hits+misses==requests invariant the stress suite asserts.
         stats = self.server.stats()
         payload = server_stats_to_wire(stats, self.server.latency_stats())
+        # Sharded backend (ShardCoordinator): surface the per-shard
+        # sections and the routing-skew block alongside the shared
+        # counter shape.  A plain TopologyServer has neither.
+        shards = getattr(stats, "shards", None)
+        if shards is not None:
+            payload["shards"] = shards
+            skew_report = getattr(self.server, "skew_report", None)
+            if skew_report is not None:
+                payload["sharding"] = skew_report()
         with self._stats_lock:
             http_section = {
                 "requests_total": self._requests_total,
@@ -486,7 +509,8 @@ class TopologyHttpApp:
                     if isinstance(error, _HttpError):
                         code, message = error.code, error.message
                     else:
-                        code, message = "unsupported_query", str(error)
+                        mapped = self._query_error(error)
+                        code, message = mapped.code, mapped.message
                     failed = {"code": code, "message": message}
                     log.error_code = code
                     break

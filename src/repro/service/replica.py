@@ -28,34 +28,44 @@ import multiprocessing
 import os
 import sys
 import tempfile
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.methods import MethodResult
 from repro.core.query import TopologyQuery
-from repro.errors import TopologyError
+from repro.errors import ReproError, ShardUnavailableError, TopologyError
 
 # Per-process replica installed by the pool initializer.  Module-level
-# global: multiprocessing gives every worker its own module instance.
+# globals: multiprocessing gives every worker its own module instance.
 _REPLICA = None
+# Generation the replica was restored from, as attested by the *parent*
+# at pool construction.  Every reply carries it back, so a reply from a
+# worker that somehow outlived its pool's generation is detectable at
+# the consumer instead of silently merging stale answers.
+_REPLICA_GENERATION: Optional[int] = None
 
 
-def _init_replica(snapshot_path: str) -> None:
+def _init_replica(snapshot_path: str, generation: Optional[int] = None) -> None:
     """Pool initializer: restore this worker's private replica."""
-    global _REPLICA
+    global _REPLICA, _REPLICA_GENERATION
     from repro.persist import load_system
 
     _REPLICA = load_system(snapshot_path)
+    _REPLICA_GENERATION = generation
 
 
 def _run_chunk(
     chunk: Tuple[str, Sequence[Tuple[int, TopologyQuery]]]
-) -> List[Tuple[int, MethodResult]]:
+) -> Tuple[Optional[int], List[Tuple[int, MethodResult]]]:
     """Execute one (method, [(batch index, query), ...]) chunk against
-    this worker's replica, preserving the indices for reassembly."""
+    this worker's replica, preserving the indices for reassembly.  The
+    reply leads with the worker's attested generation."""
     if _REPLICA is None:  # pragma: no cover - initializer always ran
         raise TopologyError("replica worker used before initialization")
     method, items = chunk
-    return [(index, _REPLICA.search(query, method=method)) for index, query in items]
+    return _REPLICA_GENERATION, [
+        (index, _REPLICA.search(query, method=method)) for index, query in items
+    ]
 
 
 def _spawn_safe_main() -> bool:
@@ -116,10 +126,12 @@ class ReplicaPool:
         system,
         workers: int,
         start_method: Optional[str] = None,
+        generation: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise TopologyError(f"replica workers must be >= 1, got {workers}")
         self.workers = workers
+        self.generation = generation
         self.start_method = _pick_start_method(start_method)
         fd, self._snapshot_path = tempfile.mkstemp(
             prefix="topology-replica-", suffix=".topo"
@@ -132,7 +144,7 @@ class ReplicaPool:
             self._pool = context.Pool(
                 processes=workers,
                 initializer=_init_replica,
-                initargs=(self._snapshot_path,),
+                initargs=(self._snapshot_path, generation),
             )
         except BaseException:
             self.close()
@@ -142,10 +154,26 @@ class ReplicaPool:
         self, chunks: Sequence[Tuple[str, Sequence[Tuple[int, TopologyQuery]]]]
     ) -> List[List[Tuple[int, MethodResult]]]:
         """Execute every chunk; replies arrive in completion order (each
-        reply keeps its items' batch indices)."""
+        reply keeps its items' batch indices).
+
+        Every reply's attested generation must match the generation this
+        pool was built for — a mismatch means a worker is serving a
+        different snapshot than the parent believes (a respawned worker
+        re-running a stale initializer, or a pool mix-up) and raises
+        rather than letting wrong-generation answers merge silently."""
         if self._pool is None:
             raise TopologyError("replica pool is closed")
-        return list(self._pool.imap_unordered(_run_chunk, chunks))
+        out: List[List[Tuple[int, MethodResult]]] = []
+        for reply_generation, items in self._pool.imap_unordered(
+            _run_chunk, chunks
+        ):
+            if reply_generation != self.generation:
+                raise TopologyError(
+                    f"replica reply attested generation {reply_generation}, "
+                    f"but this pool serves generation {self.generation}"
+                )
+            out.append(items)
+        return out
 
     def close(self) -> None:
         """Stop the workers and delete the snapshot file (idempotent)."""
@@ -161,6 +189,165 @@ class ReplicaPool:
         self._snapshot_path = ""
 
     def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Shard backends (repro.shard serving)
+# ----------------------------------------------------------------------
+# Stamp installed by the shard initializer: (shard index, generation) as
+# attested by the parent.  Every reply leads with it, so a cross-wired
+# or stale worker is detected at the coordinator, never merged.
+_SHARD_STAMP: Optional[Tuple[int, int]] = None
+
+
+def _init_shard(snapshot_path: str, shard_index: int, generation: int) -> None:
+    """Pool initializer: load this worker's shard snapshot."""
+    global _REPLICA, _SHARD_STAMP
+    from repro.persist import load_system
+
+    _REPLICA = load_system(snapshot_path)
+    _SHARD_STAMP = (shard_index, generation)
+
+
+def _shard_op(request: Tuple[str, Any]) -> Tuple[Optional[Tuple[int, int]], Any]:
+    """Execute one coordinator op against this worker's shard engine."""
+    op, args = request
+    if _REPLICA is None:  # pragma: no cover - initializer always ran
+        raise TopologyError("shard worker used before initialization")
+    if op == "query_batch":
+        method, items = args
+        payload: Any = [
+            (index, _REPLICA.search(query, method=method))
+            for index, query in items
+        ]
+    elif op == "explain":
+        query, method = args
+        payload = _REPLICA.explain(query, method)
+    elif op == "digest":
+        payload = _REPLICA.store.state_digest()
+    elif op == "ping":
+        payload = "pong"
+    elif op == "sleep":
+        # Latency probe: lets operators (and the timeout tests) exercise
+        # the coordinator's per-shard reply-deadline path on demand.
+        time.sleep(float(args))
+        payload = float(args)
+    else:
+        raise TopologyError(f"unknown shard op {op!r}")
+    return _SHARD_STAMP, payload
+
+
+class ShardCall:
+    """One dispatched shard op; :meth:`result` gathers the reply.
+
+    Split from the dispatch so a coordinator can scatter to every shard
+    first and only then start gathering — the shards overlap for the
+    whole execution, not just the tail."""
+
+    __slots__ = ("_backend", "_async_result", "_timeout")
+
+    def __init__(self, backend: "ShardBackend", async_result, timeout: float) -> None:
+        self._backend = backend
+        self._async_result = async_result
+        self._timeout = timeout
+
+    def result(self) -> Any:
+        """The reply payload, stamp-checked.
+
+        Raises :class:`ShardUnavailableError` when no reply arrives
+        within the timeout — the one signal a *dead* worker process can
+        be relied on to produce (its pool never completes the task) —
+        or when the worker crashed in a way the pool surfaces directly.
+        Engine-level errors (unsupported query etc.) propagate as
+        themselves: the shard is healthy, the request was not."""
+        backend = self._backend
+        try:
+            stamp, payload = self._async_result.get(self._timeout)
+        except multiprocessing.TimeoutError:
+            raise ShardUnavailableError(
+                backend.shard_index,
+                f"no reply within {self._timeout:g}s",
+                retry_after=backend.retry_after,
+            ) from None
+        except ReproError:
+            raise  # the shard answered; the request itself was bad
+        except Exception as exc:  # worker crashed / reply unpicklable
+            raise ShardUnavailableError(
+                backend.shard_index,
+                f"worker failed: {type(exc).__name__}: {exc}",
+                retry_after=backend.retry_after,
+            ) from exc
+        expected = (backend.shard_index, backend.generation)
+        if stamp != expected:
+            raise TopologyError(
+                f"shard reply stamped {stamp}, expected {expected}: "
+                f"worker serves a different shard or generation"
+            )
+        return payload
+
+
+class ShardBackend:
+    """One warm worker process serving one shard snapshot.
+
+    A dedicated single-process pool per shard (rather than one shared
+    pool) keeps failure domains per-shard: a dead or wedged shard
+    worker times out *its* calls with
+    :class:`~repro.errors.ShardUnavailableError` while its siblings
+    keep answering.  The pool respawns a crashed worker and re-runs the
+    initializer, so a transiently killed shard heals on the next call."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        snapshot_path: str,
+        generation: int,
+        timeout: float = 30.0,
+        retry_after: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.shard_index = shard_index
+        self.snapshot_path = os.fspath(snapshot_path)
+        self.generation = generation
+        self.timeout = timeout
+        self.retry_after = retry_after
+        self.start_method = _pick_start_method(start_method)
+        context = multiprocessing.get_context(self.start_method)
+        self._pool = context.Pool(
+            processes=1,
+            initializer=_init_shard,
+            initargs=(self.snapshot_path, shard_index, generation),
+        )
+
+    def submit(
+        self, op: str, args: Any = None, timeout: Optional[float] = None
+    ) -> ShardCall:
+        """Dispatch one op without waiting for the reply."""
+        if self._pool is None:
+            raise ShardUnavailableError(
+                self.shard_index, "backend is closed", retry_after=self.retry_after
+            )
+        budget = self.timeout if timeout is None else timeout
+        return ShardCall(
+            self, self._pool.apply_async(_shard_op, ((op, args),)), budget
+        )
+
+    def call(self, op: str, args: Any = None, timeout: Optional[float] = None) -> Any:
+        """Dispatch one op and wait for its reply."""
+        return self.submit(op, args, timeout).result()
+
+    def close(self) -> None:
+        """Stop the worker process (idempotent).  The snapshot file is
+        owned by the shard set, not the backend, and stays on disk."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ShardBackend":
         return self
 
     def __exit__(self, *exc) -> None:

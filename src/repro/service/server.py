@@ -544,29 +544,46 @@ class TopologyServer:
         under a brief lease is enough for correctness: a swapped-out
         system is never mutated in place, so snapshotting it leaselessly
         still yields a consistent image of its generation.  If a swap
-        lands mid-construction the pool is simply registered as already
-        stale and replaced on the next call."""
+        lands mid-construction, the freshly built pool is already stale:
+        rather than registering it (and serving one whole batch from the
+        old generation), construction re-checks the serving generation
+        and retries against the new one, bounded so a rebuild storm
+        degrades to serving the latest complete pool instead of looping.
+        The pool itself is built with the generation it serves and every
+        worker reply re-attests it (:meth:`ReplicaPool.run`)."""
         from repro.service.replica import ReplicaPool
 
-        with self._rw.read_locked():
-            system = self._system
-            generation = self._generation
-        with self._pool_lock:
-            if self._closed:
-                return None
-            pool = self._replica_pool
-            if (
-                pool is not None
-                and self._replica_workers == workers
-                and self._replica_generation == generation
-            ):
-                return pool, generation
-            # Stale (old generation or different width): replace.
-            self._replica_pool = None
-            stale = pool
-        if stale is not None:
-            stale.close()
-        fresh = ReplicaPool(system, workers)
+        fresh = None
+        generation = None
+        for _ in range(3):  # bounded retry: swaps are rare, loops aren't
+            with self._rw.read_locked():
+                system = self._system
+                current = self._generation
+            if fresh is not None and generation == current:
+                break
+            with self._pool_lock:
+                if self._closed:
+                    if fresh is not None:
+                        fresh.close()
+                    return None
+                pool = self._replica_pool
+                if (
+                    pool is not None
+                    and self._replica_workers == workers
+                    and self._replica_generation == current
+                ):
+                    if fresh is not None:
+                        fresh.close()
+                    return pool, current
+                # Stale (old generation or different width): replace.
+                self._replica_pool = None
+                stale = pool
+            if stale is not None:
+                stale.close()
+            if fresh is not None:
+                fresh.close()
+            generation = current
+            fresh = ReplicaPool(system, workers, generation=current)
         with self._pool_lock:
             if self._closed:  # closed while we were building
                 fresh.close()

@@ -1,0 +1,164 @@
+"""Shard-set manifest: one small JSON file naming N shard snapshots.
+
+The manifest is the unit a coordinator opens.  It stores shard paths
+*relative to its own directory* so a shard set can be moved or mounted
+elsewhere as a unit; the parsed :class:`ShardManifest` resolves them
+back to absolute paths.  Reading a manifest cross-checks every shard
+file's own embedded membership metadata (index, count, scheme, set id)
+against the manifest, so a stray or stale snapshot dropped into the
+directory is rejected up front rather than serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ShardError
+
+MANIFEST_FORMAT = "repro-shard-manifest/1"
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """A parsed, path-resolved shard-set manifest."""
+
+    path: str
+    set_id: str
+    scheme: str
+    count: int
+    shard_paths: Tuple[str, ...]
+    created_at: float
+
+    def shard_path(self, index: int) -> str:
+        if not 0 <= index < self.count:
+            raise ShardError(
+                f"shard index {index} out of range for a "
+                f"{self.count}-shard set"
+            )
+        return self.shard_paths[index]
+
+
+def write_manifest(
+    path, set_id: str, scheme: str, shard_paths: Sequence[str]
+) -> ShardManifest:
+    """Write a manifest for an already-saved shard set and return the
+    parsed form.  Shard order in ``shard_paths`` is shard index order."""
+    target = os.path.abspath(os.fspath(path))
+    base = os.path.dirname(target)
+    resolved = tuple(os.path.abspath(os.fspath(p)) for p in shard_paths)
+    created_at = time.time()
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "set_id": set_id,
+        "scheme": scheme,
+        "count": len(resolved),
+        "shards": [
+            {"index": i, "path": os.path.relpath(p, base)}
+            for i, p in enumerate(resolved)
+        ],
+        "created_at": created_at,
+    }
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, target)
+    return ShardManifest(
+        path=target,
+        set_id=set_id,
+        scheme=scheme,
+        count=len(resolved),
+        shard_paths=resolved,
+        created_at=created_at,
+    )
+
+
+def read_manifest(path, check_snapshots: bool = True) -> ShardManifest:
+    """Parse and validate a shard-set manifest.
+
+    With ``check_snapshots`` (the default) every listed snapshot's own
+    shard metadata must agree with the manifest — same set id, scheme,
+    count, and the index the manifest lists it under.  Raises
+    :class:`ShardError` for a malformed manifest, a missing shard file,
+    or any membership mismatch."""
+    target = os.path.abspath(os.fspath(path))
+    if not os.path.exists(target):
+        raise ShardError(f"shard manifest {target!r} does not exist")
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ShardError(f"shard manifest {target!r} is unreadable: {exc}")
+    if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+        raise ShardError(
+            f"shard manifest {target!r} has format "
+            f"{payload.get('format') if isinstance(payload, dict) else None!r};"
+            f" expected {MANIFEST_FORMAT!r}"
+        )
+    try:
+        set_id = payload["set_id"]
+        scheme = payload["scheme"]
+        count = payload["count"]
+        shards = payload["shards"]
+    except KeyError as exc:
+        raise ShardError(f"shard manifest {target!r} is missing key {exc}")
+    if count != len(shards):
+        raise ShardError(
+            f"shard manifest {target!r} declares {count} shards but "
+            f"lists {len(shards)}"
+        )
+    indices = sorted(entry.get("index") for entry in shards)
+    if indices != list(range(count)):
+        raise ShardError(
+            f"shard manifest {target!r} lists indices {indices}; "
+            f"expected exactly 0..{count - 1}"
+        )
+    base = os.path.dirname(target)
+    by_index = {entry["index"]: entry for entry in shards}
+    resolved = tuple(
+        os.path.normpath(os.path.join(base, by_index[i]["path"]))
+        for i in range(count)
+    )
+    manifest = ShardManifest(
+        path=target,
+        set_id=set_id,
+        scheme=scheme,
+        count=count,
+        shard_paths=resolved,
+        created_at=payload.get("created_at", 0.0),
+    )
+    if check_snapshots:
+        _check_membership(manifest)
+    return manifest
+
+
+def _check_membership(manifest: ShardManifest) -> None:
+    from repro.persist import snapshot_info
+
+    for index, path in enumerate(manifest.shard_paths):
+        if not os.path.exists(path):
+            raise ShardError(
+                f"shard {index} snapshot {path!r} does not exist"
+            )
+        shard = snapshot_info(path).shard
+        if shard is None:
+            raise ShardError(
+                f"snapshot {path!r} carries no shard metadata; it is a "
+                f"whole-store snapshot, not shard {index} of a set"
+            )
+        expected = {
+            "index": index,
+            "count": manifest.count,
+            "scheme": manifest.scheme,
+            "set_id": manifest.set_id,
+        }
+        got = {key: shard.get(key) for key in expected}
+        if got != expected:
+            raise ShardError(
+                f"snapshot {path!r} membership {got} does not match "
+                f"manifest entry {expected}"
+            )

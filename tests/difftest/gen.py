@@ -29,6 +29,15 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import (
+    RANKING_SCHEMES,
+    AttributeConstraint,
+    ConjunctionConstraint,
+    Constraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+)
 from repro.relational import Column, Database, DataType, TableSchema
 from repro.relational.expressions import (
     And,
@@ -348,5 +357,71 @@ def gen_queries(
 
         queries.append(
             f"SELECT {distinct}{select} FROM {from_clause}{where}{order}{fetch}"
+        )
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Topology queries (for sharded-vs-unsharded differential tests)
+# ----------------------------------------------------------------------
+#: keyword vocabulary for constraint generation, split by the entity
+#: types the biozon generator seeds keywords into (Protein/Interaction
+#: DESC columns; see repro.biozon.generator).  Mixes the calibrated
+#: selectivity-tier words with filler words that may match nothing —
+#: empty answers are a legitimate differential case.
+PROTEIN_WORDS = ("kinase", "binding", "human", "putative", "membrane", "zzz")
+INTERACTION_WORDS = ("physical", "direct", "experimental", "conserved")
+DNA_TYPES = ("mRNA", "genomic", "EST")
+
+
+def _gen_constraint(rng: random.Random, entity: str) -> Constraint:
+    """A random constraint valid for one biozon entity type."""
+    roll = rng.random()
+    if roll < 0.2:
+        return NoConstraint()
+    if entity == "DNA" and roll < 0.5:
+        return AttributeConstraint("TYPE", rng.choice(DNA_TYPES))
+    words = INTERACTION_WORDS if entity == "Interaction" else PROTEIN_WORDS
+    if roll < 0.85:
+        return KeywordConstraint("DESC", rng.choice(words))
+    return ConjunctionConstraint(
+        (
+            KeywordConstraint("DESC", rng.choice(words)),
+            KeywordConstraint("DESC", rng.choice(words)),
+        )
+    )
+
+
+def gen_topology_queries(
+    rng: random.Random,
+    pairs: Sequence[Tuple[str, str]],
+    count: int = 8,
+    max_length: int = 3,
+) -> List[TopologyQuery]:
+    """Random :class:`TopologyQuery` objects over the built entity pairs.
+
+    Roughly a quarter are exhaustive (``k=None`` — only the exhaustive
+    methods accept these); the rest carry a small top-k cut-off and a
+    random ranking scheme, so a sweep exercises both merge shapes of a
+    scatter-gather coordinator plus the exhaustive-method-with-k edge
+    (exhaustive methods rank-and-cut too when the query carries ``k``).
+    """
+    queries: List[TopologyQuery] = []
+    for _ in range(count):
+        entity1, entity2 = rng.choice(list(pairs))
+        if rng.random() < 0.25:
+            k, ranking = None, "freq"
+        else:
+            k, ranking = rng.randint(1, 8), rng.choice(RANKING_SCHEMES)
+        queries.append(
+            TopologyQuery(
+                entity1,
+                entity2,
+                _gen_constraint(rng, entity1),
+                _gen_constraint(rng, entity2),
+                max_length=max_length,
+                k=k,
+                ranking=ranking,
+            )
         )
     return queries

@@ -1,0 +1,82 @@
+"""Golden vectors pinning ``stable_partition`` — the shard routing rule.
+
+The sharded store (``repro.shard``, scheme ``crc32-e1/v1``) routes every
+AllTops/LeftTops/pair row by ``stable_partition(e1, num_shards)``.  That
+makes the function's exact outputs a *persistence format*: a snapshot
+set split under one mapping must be read back under the same mapping
+forever.  These vectors were computed once from the CRC-32 definition
+and must never change — a failure here means existing shard sets on
+disk would be misrouted, and the scheme id must be bumped instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.parallel.partition import stable_partition
+from repro.shard import SHARD_SCHEME, shard_of
+
+#: The pinned id sample: every supported id type, including the
+#: type-tag collision traps (1 vs True vs "1", b"" vs "").
+GOLDEN_IDS = (
+    0,
+    1,
+    7,
+    42,
+    -3,
+    10**12,
+    True,
+    False,
+    "P1",
+    "protein-42",
+    "",
+    "1",
+    b"P1",
+    b"",
+    ("Protein", 7),
+    ("a", "b"),
+)
+
+#: num_partitions -> expected bucket per GOLDEN_IDS entry.  Computed
+#: from crc32(tagged-bytes) % n; see module docstring before touching.
+GOLDEN_BUCKETS = {
+    2: (0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0),
+    3: (2, 0, 0, 2, 2, 2, 0, 2, 2, 0, 0, 2, 1, 1, 1, 2),
+    4: (0, 2, 3, 0, 2, 2, 3, 1, 2, 2, 0, 0, 2, 2, 0, 0),
+    8: (0, 6, 3, 4, 2, 6, 7, 1, 6, 6, 0, 0, 2, 2, 0, 4),
+}
+
+
+@pytest.mark.parametrize("num_partitions", sorted(GOLDEN_BUCKETS))
+def test_golden_vectors(num_partitions):
+    got = tuple(stable_partition(i, num_partitions) for i in GOLDEN_IDS)
+    assert got == GOLDEN_BUCKETS[num_partitions]
+
+
+def test_shard_of_is_stable_partition():
+    """The shard router must be the partitioner, not a reimplementation:
+    shard sets and partitioned builds agree bucket-for-bucket."""
+    for node_id in GOLDEN_IDS:
+        for n in (2, 3, 4, 8):
+            assert shard_of(node_id, n) == stable_partition(node_id, n)
+
+
+def test_scheme_id_matches_pinned_mapping():
+    """The scheme id names this exact mapping; changing the mapping
+    without bumping the id would corrupt on-disk shard sets."""
+    assert SHARD_SCHEME == "crc32-e1/v1"
+
+
+def test_type_tags_discriminate():
+    """1, True and "1" are different nodes; the encoding must be free
+    to separate them (and does, at these counts)."""
+    assert stable_partition(1, 8) != stable_partition(True, 8)
+    assert stable_partition(1, 3) != stable_partition("1", 3)
+    assert stable_partition(b"", 3) != stable_partition("", 3)
+
+
+def test_single_partition_and_bad_counts():
+    assert stable_partition("anything", 1) == 0
+    with pytest.raises(TopologyError):
+        stable_partition("anything", 0)

@@ -1,0 +1,69 @@
+"""Replica-pool generation attestation.
+
+A warm replica pool serves exactly one generation.  The parent stamps
+the generation into every worker at pool start; every reply carries it
+back, and :meth:`ReplicaPool.run` refuses to merge a reply attesting a
+different generation — the failure mode is a worker serving a stale
+snapshot after a hot-swap, which must be loud, never silently wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KeywordConstraint, NoConstraint, TopologyQuery
+from repro.errors import TopologyError
+from repro.service.replica import ReplicaPool
+
+
+@pytest.fixture(scope="module")
+def pool(tiny_system):
+    with ReplicaPool(
+        tiny_system, workers=1, start_method="fork", generation=7
+    ) as p:
+        yield p
+
+
+def _chunk(keyword: str):
+    query = TopologyQuery(
+        "Protein", "DNA", KeywordConstraint("DESC", keyword), NoConstraint()
+    )
+    return ("fast-top", [(0, query)])
+
+
+class TestGenerationAttestation:
+    def test_replies_attest_the_stamped_generation(self, pool, tiny_system):
+        (items,) = pool.run([_chunk("kinase")])
+        (index, result) = items[0]
+        assert index == 0
+        reference = tiny_system.search(
+            _chunk("kinase")[1][0][1], method="fast-top"
+        )
+        assert result.tids == reference.tids
+
+    def test_mismatched_attestation_refuses_to_merge(self, pool):
+        """Simulate a pool mix-up: the consumer believes a different
+        generation than the workers were initialized with."""
+        original = pool.generation
+        pool.generation = original + 1
+        try:
+            with pytest.raises(TopologyError, match="attested generation"):
+                pool.run([_chunk("human")])
+        finally:
+            pool.generation = original
+
+    def test_untagged_pool_still_round_trips(self, tiny_system):
+        """generation=None (the facade's single-generation use) must
+        keep working: None attests equal to None."""
+        with ReplicaPool(tiny_system, workers=1, start_method="fork") as p:
+            (items,) = p.run([_chunk("binding")])
+            assert items[0][0] == 0
+
+    def test_closed_pool_rejects_work(self, tiny_system):
+        p = ReplicaPool(
+            tiny_system, workers=1, start_method="fork", generation=1
+        )
+        p.close()
+        p.close()  # idempotent
+        with pytest.raises(TopologyError, match="closed"):
+            p.run([_chunk("kinase")])

@@ -1,0 +1,48 @@
+"""Shared shard fixtures: one 4-shard split of the tiny system.
+
+The split and the coordinator over it are session-scoped (process
+spawn + snapshot restore per shard is the expensive part); tests that
+mutate a coordinator — rebuilds, killed backends — build their own
+function-scoped one from the same manifest.
+
+Backends use ``fork`` here: the suite runs single-threaded, fork is
+safe, and it skips a per-worker interpreter boot + reimport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ShardCoordinator
+from repro.shard import split_system
+
+NUM_SHARDS = 4
+START_METHOD = "fork"
+
+
+@pytest.fixture(scope="session")
+def reference_state(tiny_system):
+    return tiny_system.require_store().export_state()
+
+
+@pytest.fixture(scope="session")
+def split4(tmp_path_factory, tiny_system):
+    directory = tmp_path_factory.mktemp("shards4")
+    return split_system(tiny_system, NUM_SHARDS, directory)
+
+
+@pytest.fixture(scope="session")
+def coordinator(split4):
+    with ShardCoordinator(
+        split4.manifest_path, start_method=START_METHOD
+    ) as coord:
+        yield coord
+
+
+@pytest.fixture()
+def fresh_coordinator(split4):
+    """A private coordinator for tests that kill backends or rebuild."""
+    with ShardCoordinator(
+        split4.manifest_path, start_method=START_METHOD
+    ) as coord:
+        yield coord

@@ -1,0 +1,289 @@
+"""Scatter-gather coordinator: answer equality, caching, failure modes,
+and all-or-nothing rebuild."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import (
+    ALL_METHOD_NAMES,
+    AttributeConstraint,
+    KeywordConstraint,
+    NoConstraint,
+    TopologyQuery,
+)
+from repro.errors import ShardUnavailableError, TopologyError
+from repro.persist import load_system
+from repro.service import ShardCoordinator
+
+EXHAUSTIVE_METHODS = ("sql", "full-top", "fast-top")
+NUM_SHARDS = 4  # matches the session split in conftest.py
+
+
+def query_for(method: str, keyword: str = "kinase") -> TopologyQuery:
+    """A method-appropriate Protein-DNA query (top-k methods need k)."""
+    if method in EXHAUSTIVE_METHODS:
+        return TopologyQuery(
+            "Protein", "DNA", KeywordConstraint("DESC", keyword), NoConstraint()
+        )
+    return TopologyQuery(
+        "Protein",
+        "DNA",
+        KeywordConstraint("DESC", keyword),
+        AttributeConstraint("TYPE", "mRNA"),
+        k=4,
+        ranking="rare",
+    )
+
+
+class TestAnswerEquality:
+    @pytest.mark.parametrize("method", ALL_METHOD_NAMES)
+    def test_all_nine_methods_match_unsharded(
+        self, coordinator, tiny_system, method
+    ):
+        query = query_for(method)
+        reference = tiny_system.search(query, method=method)
+        merged = coordinator.query(query, method=method)
+        assert merged.tids == reference.tids
+        assert merged.scores == reference.scores
+        assert merged.method == method
+
+    def test_exhaustive_method_with_k_merges_ranked(
+        self, coordinator, tiny_system
+    ):
+        """Exhaustive methods rank-and-cut when the query carries k; a
+        tid-union merge of per-shard top-4s would return too many tids
+        and drop the scores."""
+        query = TopologyQuery(
+            "Protein",
+            "DNA",
+            KeywordConstraint("DESC", "binding"),
+            NoConstraint(),
+            k=4,
+            ranking="freq",
+        )
+        reference = tiny_system.search(query, method="sql")
+        merged = coordinator.query(query, method="sql")
+        assert merged.tids == reference.tids
+        assert merged.scores == reference.scores
+
+    def test_second_entity_pair(self, coordinator, tiny_system):
+        query = TopologyQuery(
+            "Protein",
+            "Interaction",
+            KeywordConstraint("DESC", "human"),
+            KeywordConstraint("DESC", "physical"),
+            k=5,
+            ranking="domain",
+        )
+        reference = tiny_system.search(query)
+        merged = coordinator.query(query)
+        assert merged.tids == reference.tids
+        assert merged.scores == reference.scores
+
+    def test_merged_work_counters_account_all_shards(self, coordinator):
+        query = query_for("fast-top-k", keyword="membrane")
+        merged = coordinator.query(query, method="fast-top-k")
+        assert merged.work["shards"] == NUM_SHARDS
+        assert merged.generation == coordinator.generation
+
+    def test_shard_digests_match_the_files(self, coordinator):
+        """What the worker processes serve is byte-for-byte what the
+        manifest names — the live half of the losslessness proof."""
+        expected = [
+            load_system(path).require_store().state_digest()
+            for path in coordinator.manifest.shard_paths
+        ]
+        assert coordinator.shard_digests() == expected
+
+
+class TestCachingAndStats:
+    def test_cache_and_coalescing_invariants(self, fresh_coordinator):
+        coord = fresh_coordinator
+        query = query_for("fast-top-k-opt", keyword="human")
+        first = coord.query(query)
+        assert coord.query(query) is first  # LRU hit returns the object
+        repeated = coord.query_many([query, query, query_for("fast-top-k-opt")])
+        assert repeated[0] is first and repeated[1] is first
+        stats = coord.stats()
+        assert stats.generation == 1
+        assert stats.requests == 5
+        cache = stats.result_cache
+        assert cache.hits + cache.misses == stats.requests
+        assert cache.misses == stats.executions + stats.coalesced
+        assert stats.executions == 2  # two distinct queries scattered
+        assert stats.failures == 0 and stats.in_flight == 0
+
+    def test_query_many_dedups_inside_the_batch(self, fresh_coordinator):
+        coord = fresh_coordinator
+        a, b = query_for("full-top-k", "kinase"), query_for("full-top-k", "human")
+        results = coord.query_many([a, b, a, a], method="full-top-k")
+        assert results[0] is results[2] is results[3]
+        assert results[1] is not results[0]
+        stats = coord.stats()
+        assert stats.executions == 2
+        assert stats.coalesced == 2
+
+    def test_empty_batch(self, coordinator):
+        assert coordinator.query_many([]) == []
+
+    def test_unknown_method_and_mode_rejected(self, coordinator):
+        with pytest.raises(TopologyError, match="unknown method"):
+            coordinator.query(query_for("sql"), method="nope")
+        with pytest.raises(TopologyError, match="mode"):
+            coordinator.query_many([query_for("sql")], mode="teleport")
+
+    def test_latency_stats_record_merged_results(self, fresh_coordinator):
+        fresh_coordinator.query(query_for("fast-top-k"), method="fast-top-k")
+        snapshot = fresh_coordinator.latency_stats()
+        assert snapshot["fast-top-k"]["count"] == 1
+
+    def test_explain_returns_shard_plan(self, coordinator, tiny_system):
+        query = query_for("fast-top-k-opt")
+        plan = coordinator.explain(query)
+        assert plan.method == tiny_system.explain(query).method
+
+    def test_stats_shard_sections(self, coordinator, split4):
+        sections = coordinator.stats().shards
+        assert [s["index"] for s in sections] == list(range(NUM_SHARDS))
+        assert all(s["set_id"] == split4.set_id for s in sections)
+        assert tuple(
+            s["routed_rows"] for s in sections
+        ) == coordinator.partition_histogram()
+        assert coordinator.partition_histogram() == split4.row_histogram
+        report = coordinator.skew_report()
+        assert report["skew"] == pytest.approx(split4.skew)
+        assert report["skew_warning"] is False
+        assert report["row_histogram"] == list(split4.row_histogram)
+
+
+class TestFailureModes:
+    def test_dead_shard_aborts_loudly(self, fresh_coordinator):
+        coord = fresh_coordinator
+        coord._backends[2].close()
+        with pytest.raises(ShardUnavailableError) as info:
+            coord.query(query_for("fast-top-k"), method="fast-top-k")
+        assert info.value.shard_index == 2
+        assert info.value.retry_after >= 1
+        stats = coord.stats()
+        assert stats.failures == 1
+        assert stats.shards[2]["failures"] == 1
+        # The flight was cleaned up: the same query can be retried.
+        assert coord.stats().in_flight == 0
+
+    def test_queue_timeout_surfaces_as_unavailable(self, fresh_coordinator):
+        """A wedged worker (single process per shard, busy with a long
+        op) must miss the reply deadline, not hang the coordinator."""
+        coord = fresh_coordinator
+        backend = coord._backends[1]
+        backend.submit("sleep", 5.0)  # occupies the one worker
+        backend.timeout = 0.2
+        with pytest.raises(ShardUnavailableError) as info:
+            coord.query(query_for("fast-top-k-et"), method="fast-top-k-et")
+        assert info.value.shard_index == 1
+        assert "no reply" in str(info.value)
+        assert coord.stats().shards[1]["timeouts"] == 1
+        # Teardown terminates the still-sleeping worker; no drain needed.
+
+    def test_batch_failure_counts_every_slot(self, fresh_coordinator):
+        coord = fresh_coordinator
+        coord._backends[0].close()
+        queries = [query_for("full-top-k", w) for w in ("kinase", "human")]
+        with pytest.raises(ShardUnavailableError):
+            coord.query_many(queries, method="full-top-k")
+        assert coord.stats().failures == 2
+
+    def test_generation_stamp_mismatch_is_loud(self, fresh_coordinator):
+        """A backend serving a different generation than the coordinator
+        believes must be rejected at the gather, never merged."""
+        backend = fresh_coordinator._backends[0]
+        backend.generation += 1
+        with pytest.raises(TopologyError, match="stamped"):
+            backend.call("ping")
+
+
+class TestRebuild:
+    def test_rebuild_commits_a_new_generation(self, fresh_coordinator, tiny_system):
+        coord = fresh_coordinator
+        query = query_for("fast-top-k-opt")
+        manifest_before = coord.manifest
+        before = coord.query(query)
+        assert before.generation == 1
+
+        report = coord.rebuild()
+        assert report.elapsed_seconds > 0  # a real offline-phase report
+        assert coord.generation == 2
+        assert coord.manifest.path != manifest_before.path
+        assert coord.manifest.set_id == manifest_before.set_id  # same store
+
+        after = coord.query(query)
+        assert after.generation == 2
+        reference = tiny_system.search(query)
+        assert after.tids == reference.tids
+        assert after.scores == reference.scores
+        assert coord.stats().rebuilds == 1
+        # New backends answer with the new generation's stamp.
+        assert len(coord.shard_digests()) == NUM_SHARDS
+
+    def test_failed_rebuild_leaves_serving_set_untouched(
+        self, fresh_coordinator, monkeypatch
+    ):
+        coord = fresh_coordinator
+        query = query_for("fast-top-k")
+        before = coord.query(query, method="fast-top-k")
+        manifest_before = coord.manifest
+
+        import repro.shard.build as shard_build
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected split failure")
+
+        monkeypatch.setattr(shard_build, "split_system", explode)
+        with pytest.raises(RuntimeError, match="injected"):
+            coord.rebuild()
+
+        assert coord.generation == 1
+        assert coord.manifest is manifest_before
+        assert coord.stats().rebuilds == 0
+        again = coord.query(query, method="fast-top-k")
+        assert again.tids == before.tids  # old backends still serving
+
+    def test_rebuild_overlaps_with_live_queries(self, fresh_coordinator):
+        """Readers keep getting answers while the writer rebuilds; every
+        answer is stamped with a single generation (no torn reads)."""
+        coord = fresh_coordinator
+        query = query_for("fast-top-k-opt", keyword="binding")
+        stop = threading.Event()
+        seen: list = []
+        failures: list = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    seen.append(coord.query(query).generation)
+                except Exception as exc:  # pragma: no cover - fails test
+                    failures.append(exc)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            coord.rebuild()
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+        assert set(seen) <= {1, 2}
+        assert coord.generation == 2
+
+    def test_closed_coordinator_rejects_work(self, split4):
+        coord = ShardCoordinator(split4.manifest_path, start_method="fork")
+        coord.close()
+        with pytest.raises(TopologyError, match="closed"):
+            coord.query(query_for("fast-top-k"), method="fast-top-k")
+        with pytest.raises(TopologyError):
+            coord.explain(query_for("fast-top-k"))
+        with pytest.raises(TopologyError, match="closed"):
+            coord.rebuild()

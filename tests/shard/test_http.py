@@ -1,0 +1,151 @@
+"""The HTTP layer fronting a ShardCoordinator.
+
+The app is backend-agnostic; these tests pin the two places sharding
+shows through the wire contract: the /stats payload grows per-shard and
+skew sections, and a dead shard maps to ``503 shard_unavailable`` with
+``Retry-After`` — never a partial answer, never a hang.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ShardCoordinator
+from repro.service.http import TestClient, create_app
+
+
+@pytest.fixture()
+def coordinator_client(split4):
+    with ShardCoordinator(
+        split4.manifest_path, start_method="fork"
+    ) as coordinator:
+        with create_app(coordinator, stream_chunk_rows=8) as app:
+            with TestClient(app) as client:
+                yield client, coordinator
+
+
+def valid_query(**overrides) -> dict:
+    body = {
+        "entity1": "Protein",
+        "entity2": "DNA",
+        "constraint1": {"kind": "keyword", "column": "DESC", "keyword": "kinase"},
+        "constraint2": {"kind": "attribute", "column": "TYPE", "value": "mRNA"},
+        "max_length": 3,
+        "k": 4,
+        "ranking": "rare",
+    }
+    body.update(overrides)
+    return body
+
+
+def test_query_answers_match_single_server(coordinator_client, tiny_system):
+    client, _ = coordinator_client
+    response = client.post("/query", json=valid_query())
+    assert response.status == 200
+    payload = response.json()
+    from repro.core import (
+        AttributeConstraint,
+        KeywordConstraint,
+        TopologyQuery,
+    )
+
+    reference = tiny_system.search(
+        TopologyQuery(
+            "Protein",
+            "DNA",
+            KeywordConstraint("DESC", "kinase"),
+            AttributeConstraint("TYPE", "mRNA"),
+            max_length=3,
+            k=4,
+            ranking="rare",
+        )
+    )
+    assert payload["tids"] == reference.tids
+    assert payload["scores"] == reference.scores
+    assert payload["generation"] == 1
+
+
+def test_healthz_reports_coordinator_generation(coordinator_client):
+    client, coordinator = coordinator_client
+    response = client.get("/healthz")
+    assert response.status == 200
+    assert response.json()["generation"] == coordinator.generation
+
+
+def test_stats_payload_grows_shard_sections(coordinator_client):
+    client, coordinator = coordinator_client
+    client.post("/query", json=valid_query())
+    payload = client.get("/stats").json()
+    # The shared counter shape still holds...
+    cache = payload["result_cache"]
+    assert payload["requests"] == cache["hits"] + cache["misses"]
+    assert cache["misses"] == payload["executions"] + payload["coalesced"]
+    # ...plus the shard sections and the skew block.
+    assert [s["index"] for s in payload["shards"]] == list(
+        range(coordinator.num_shards)
+    )
+    assert sum(s["calls"] for s in payload["shards"]) == coordinator.num_shards
+    sharding = payload["sharding"]
+    assert sharding["row_histogram"] == list(coordinator.partition_histogram())
+    assert sharding["skew"] >= 1.0
+    assert sharding["skew_warning"] is False
+    assert json.dumps(payload)  # whole payload stays JSON-serializable
+
+
+def test_query_many_streams_over_shards(coordinator_client):
+    client, _ = coordinator_client
+    body = {
+        "queries": [valid_query(), valid_query(k=2)],
+        "method": "fast-top-k-opt",
+    }
+    response = client.post("/query_many", json=body)
+    assert response.status == 200
+    lines = [json.loads(l) for l in response.body.decode().splitlines() if l]
+    assert lines[-1]["done"] is True
+    assert lines[-1]["count"] == 2
+
+
+def test_explain_uses_shard_zero(coordinator_client):
+    client, _ = coordinator_client
+    response = client.post("/explain", json=valid_query())
+    assert response.status == 200
+    assert response.json()["method"] == "fast-top-k-opt"
+
+
+def test_rebuild_bumps_generation(coordinator_client):
+    client, coordinator = coordinator_client
+    response = client.post("/rebuild", json={})
+    assert response.status == 200
+    assert response.json()["generation"] == 2
+    assert coordinator.generation == 2
+    follow_up = client.post("/query", json=valid_query())
+    assert follow_up.status == 200
+    assert follow_up.json()["generation"] == 2
+
+
+def test_dead_shard_maps_to_503(coordinator_client):
+    client, coordinator = coordinator_client
+    coordinator._backends[3].close()
+    response = client.post("/query", json=valid_query())
+    assert response.status == 503
+    headers = {k.lower(): v for k, v in response.headers.items()}
+    assert headers["retry-after"] == "1"
+    error = response.json()["error"]
+    assert error["code"] == "shard_unavailable"
+    assert error["details"] == [{"field": "shard", "message": "3"}]
+
+
+def test_unsupported_query_is_not_a_shard_failure(coordinator_client):
+    """Engine-level rejections ride through the scatter as 422s — only
+    infrastructure failures may claim the 503 contract."""
+    client, _ = coordinator_client
+    response = client.post(
+        "/query", json=valid_query(entity2="Pathway")
+    )
+    assert response.status == 422
+    assert response.json()["error"]["code"] in (
+        "unsupported_query",
+        "validation_error",
+    )

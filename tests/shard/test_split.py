@@ -1,0 +1,332 @@
+"""Shard splitting: losslessness, manifests, and failure detection."""
+
+from __future__ import annotations
+
+import copy
+import json
+import logging
+import os
+import random
+
+import pytest
+
+from repro.errors import ShardError
+from repro.persist import read_store_state, save_system, snapshot_info
+from repro.shard import (
+    MANIFEST_FORMAT,
+    SHARD_SCHEME,
+    SKEW_WARNING_THRESHOLD,
+    ShardSplitReport,
+    read_manifest,
+    shard_of,
+    shard_set_id,
+    split_state,
+    split_system,
+    state_digest,
+    union_digest,
+    union_state,
+    verify_split,
+    write_manifest,
+)
+from repro.shard.build import _warn_on_skew
+
+NUM_SHARDS = 4  # matches the session split in conftest.py
+
+
+# ----------------------------------------------------------------------
+# split_state: the in-memory split
+# ----------------------------------------------------------------------
+class TestSplitState:
+    def test_routed_rows_partition_exactly(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        for kind in ("alltops_rows", "lefttops_rows"):
+            assert sum(len(s[kind]) for s in shards) == len(
+                reference_state[kind]
+            )
+            for index, shard in enumerate(shards):
+                assert all(
+                    shard_of(row[0], NUM_SHARDS) == index
+                    for row in shard[kind]
+                )
+        assert sum(len(s["pairs"]) for s in shards) == len(
+            reference_state["pairs"]
+        )
+
+    def test_replicated_components_are_full_copies(self, reference_state):
+        for shard in split_state(reference_state, NUM_SHARDS):
+            assert shard["topologies"] == list(reference_state["topologies"])
+            assert shard["excptops_rows"] == list(
+                reference_state["excptops_rows"]
+            )
+            assert shard["pruned_tids"] == list(reference_state["pruned_tids"])
+            assert shard["truncated_pairs"] == reference_state["truncated_pairs"]
+
+    def test_split_is_nonempty_per_shard(self, reference_state):
+        """Regression guard on the fixture itself: the tiny system must
+        route rows to *every* shard or the equality tests prove nothing
+        about merging."""
+        shards = split_state(reference_state, NUM_SHARDS)
+        assert all(
+            s["alltops_rows"] or s["lefttops_rows"] for s in shards
+        )
+
+    def test_bad_shard_count_rejected(self, reference_state):
+        with pytest.raises(ShardError):
+            split_state(reference_state, 0)
+
+    def test_single_shard_split_is_identity(self, reference_state):
+        (only,) = split_state(reference_state, 1)
+        assert only["alltops_rows"] == list(reference_state["alltops_rows"])
+        assert only["lefttops_rows"] == list(reference_state["lefttops_rows"])
+        assert len(only["pairs"]) == len(reference_state["pairs"])
+
+
+# ----------------------------------------------------------------------
+# Canonical digests and union
+# ----------------------------------------------------------------------
+class TestUnionDigest:
+    def test_union_digest_equals_reference(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        assert union_digest(shards) == state_digest(reference_state)
+
+    def test_state_digest_is_row_order_insensitive(self, reference_state):
+        shuffled = copy.deepcopy(reference_state)
+        rng = random.Random(0)
+        rng.shuffle(shuffled["alltops_rows"])
+        rng.shuffle(shuffled["lefttops_rows"])
+        assert state_digest(shuffled) == state_digest(reference_state)
+
+    def test_union_rejects_duplicated_routed_row(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        donor = next(i for i, s in enumerate(shards) if s["alltops_rows"])
+        row = shards[donor]["alltops_rows"][0]
+        shards[(donor + 1) % NUM_SHARDS]["alltops_rows"].append(row)
+        with pytest.raises(ShardError, match="appears in both"):
+            union_state(shards)
+
+    def test_union_rejects_diverged_replica(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        shards[1]["pruned_tids"] = list(shards[1]["pruned_tids"]) + [999_999]
+        with pytest.raises(ShardError, match="pruned_tids"):
+            union_state(shards)
+
+    def test_union_rejects_empty_list(self):
+        with pytest.raises(ShardError):
+            union_state([])
+
+
+class TestVerifySplit:
+    def test_accepts_good_split(self, reference_state):
+        verify_split(
+            reference_state, split_state(reference_state, NUM_SHARDS)
+        )
+
+    def test_detects_dropped_row(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        donor = next(s for s in shards if s["alltops_rows"])
+        donor["alltops_rows"] = donor["alltops_rows"][1:]
+        with pytest.raises(ShardError, match="does not match"):
+            verify_split(reference_state, shards)
+
+    def test_detects_misrouted_row(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        donor = next(i for i, s in enumerate(shards) if s["alltops_rows"])
+        row = shards[donor]["alltops_rows"].pop(0)
+        shards[(donor + 1) % NUM_SHARDS]["alltops_rows"].append(row)
+        with pytest.raises(ShardError, match="does not match"):
+            verify_split(reference_state, shards)
+
+    def test_detects_tampered_replica(self, reference_state):
+        shards = split_state(reference_state, NUM_SHARDS)
+        if shards[0]["excptops_rows"]:
+            shards[0]["excptops_rows"] = shards[0]["excptops_rows"][:-1]
+        else:
+            shards[0]["excptops_rows"] = [("ghost", "ghost", 0)]
+        with pytest.raises(ShardError, match="excptops_rows|does not match"):
+            verify_split(reference_state, shards)
+
+
+# ----------------------------------------------------------------------
+# split_system: files on disk
+# ----------------------------------------------------------------------
+class TestSplitSystem:
+    def test_writes_all_files(self, split4):
+        assert os.path.exists(split4.manifest_path)
+        assert len(split4.shard_paths) == NUM_SHARDS
+        for path, size in zip(split4.shard_paths, split4.file_bytes):
+            assert os.path.exists(path)
+            assert os.path.getsize(path) == size > 0
+
+    def test_report_histograms_match_reference(self, split4, reference_state):
+        assert sum(split4.alltops_histogram) == len(
+            reference_state["alltops_rows"]
+        )
+        assert sum(split4.lefttops_histogram) == len(
+            reference_state["lefttops_rows"]
+        )
+        assert sum(split4.pairs_histogram) == len(reference_state["pairs"])
+        assert split4.replicated_topologies == len(
+            reference_state["topologies"]
+        )
+        assert split4.skew >= 1.0
+        assert split4.scheme == SHARD_SCHEME
+
+    def test_report_round_trips_through_json(self, split4):
+        wire = json.loads(json.dumps(split4.to_wire()))
+        assert wire["num_shards"] == NUM_SHARDS
+        assert wire["set_id"] == split4.set_id
+        assert wire["row_histogram"] == list(split4.row_histogram)
+
+    def test_saved_files_carry_membership_metadata(self, split4):
+        for index, path in enumerate(split4.shard_paths):
+            shard = snapshot_info(path).shard
+            assert shard == {
+                "index": index,
+                "count": NUM_SHARDS,
+                "scheme": SHARD_SCHEME,
+                "set_id": split4.set_id,
+            }
+
+    def test_saved_union_equals_reference(self, split4, reference_state):
+        states = [read_store_state(p) for p in split4.shard_paths]
+        assert union_digest(states) == state_digest(reference_state)
+
+    def test_set_id_is_deterministic(self, split4, tiny_system):
+        digest = tiny_system.require_store().state_digest()
+        assert split4.set_id == shard_set_id(digest, NUM_SHARDS)
+        assert shard_set_id(digest, NUM_SHARDS) != shard_set_id(
+            digest, NUM_SHARDS + 1
+        )
+
+    def test_unbuilt_system_rejected(self, tiny_dataset, tmp_path):
+        from repro.core import TopologySearchSystem
+
+        empty = TopologySearchSystem(
+            tiny_dataset.database, tiny_dataset.graph()
+        )
+        with pytest.raises(ShardError, match="unbuilt"):
+            split_system(empty, 2, tmp_path)
+
+
+class TestSkewWarning:
+    def _report(self, histogram):
+        return ShardSplitReport(
+            num_shards=len(histogram),
+            scheme=SHARD_SCHEME,
+            set_id="deadbeefdeadbeef",
+            manifest_path="x.manifest.json",
+            shard_paths=[],
+            alltops_histogram=tuple(histogram),
+            lefttops_histogram=tuple(0 for _ in histogram),
+            pairs_histogram=tuple(0 for _ in histogram),
+            replicated_topologies=0,
+            replicated_excptops=0,
+        )
+
+    def test_skewed_split_logs_structured_warning(self, caplog):
+        report = self._report((30, 1, 1, 0))  # skew 3.75x
+        with caplog.at_level(logging.WARNING, logger="repro.shard"):
+            _warn_on_skew(report)
+        (record,) = caplog.records
+        payload = json.loads(record.message.split(": ", 1)[1])
+        assert payload["event"] == "shard_skew"
+        assert payload["row_histogram"] == [30, 1, 1, 0]
+        assert payload["skew"] > SKEW_WARNING_THRESHOLD
+
+    def test_balanced_split_stays_quiet(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.shard"):
+            _warn_on_skew(self._report((8, 8, 9, 8)))
+        assert not caplog.records
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_read_back_resolves_absolute_paths(self, split4):
+        manifest = read_manifest(split4.manifest_path)
+        assert manifest.set_id == split4.set_id
+        assert manifest.scheme == SHARD_SCHEME
+        assert manifest.count == NUM_SHARDS
+        assert all(os.path.isabs(p) for p in manifest.shard_paths)
+        assert [os.path.basename(p) for p in manifest.shard_paths] == [
+            os.path.basename(p) for p in split4.shard_paths
+        ]
+        with pytest.raises(ShardError):
+            manifest.shard_path(NUM_SHARDS)
+
+    def test_paths_are_relative_in_the_file(self, split4):
+        with open(split4.manifest_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["format"] == MANIFEST_FORMAT
+        assert all(
+            not os.path.isabs(entry["path"]) for entry in payload["shards"]
+        )
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ShardError, match="does not exist"):
+            read_manifest(tmp_path / "nope.manifest.json")
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text(json.dumps({"format": "something-else/9"}))
+        with pytest.raises(ShardError, match="format"):
+            read_manifest(path)
+
+    def test_count_mismatch(self, split4, tmp_path):
+        with open(split4.manifest_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["count"] = NUM_SHARDS + 1
+        path = tmp_path / "bad.manifest.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="declares"):
+            read_manifest(path)
+
+    def test_missing_shard_file(self, split4, tmp_path):
+        manifest = write_manifest(
+            tmp_path / "m.manifest.json",
+            set_id=split4.set_id,
+            scheme=SHARD_SCHEME,
+            shard_paths=list(split4.shard_paths[:-1])
+            + [str(tmp_path / "gone.topo")],
+        )
+        with pytest.raises(ShardError, match="does not exist"):
+            read_manifest(manifest.path)
+
+    def test_swapped_shard_files_rejected(self, split4, tmp_path):
+        """A shard file listed under the wrong index is a routing error
+        waiting to happen; membership metadata catches it at open."""
+        swapped = list(split4.shard_paths)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        manifest = write_manifest(
+            tmp_path / "swapped.manifest.json",
+            set_id=split4.set_id,
+            scheme=SHARD_SCHEME,
+            shard_paths=swapped,
+        )
+        with pytest.raises(ShardError, match="membership"):
+            read_manifest(manifest.path)
+
+    def test_whole_store_snapshot_rejected(self, split4, tiny_system, tmp_path):
+        stray = tmp_path / "whole.topo"
+        save_system(tiny_system, stray)
+        manifest = write_manifest(
+            tmp_path / "stray.manifest.json",
+            set_id=split4.set_id,
+            scheme=SHARD_SCHEME,
+            shard_paths=[str(stray)] + list(split4.shard_paths[1:]),
+        )
+        with pytest.raises(ShardError, match="no shard metadata"):
+            read_manifest(manifest.path)
+
+    def test_check_can_be_deferred(self, split4, tmp_path):
+        swapped = list(split4.shard_paths)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        manifest = write_manifest(
+            tmp_path / "deferred.manifest.json",
+            set_id=split4.set_id,
+            scheme=SHARD_SCHEME,
+            shard_paths=swapped,
+        )
+        parsed = read_manifest(manifest.path, check_snapshots=False)
+        assert parsed.count == NUM_SHARDS
