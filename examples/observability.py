@@ -1,0 +1,95 @@
+"""Observe a running server: traces, metrics, and the slow-query log.
+
+Boots a 2-shard coordinator behind the HTTP app (all in-process) and
+walks the observability surface end to end:
+
+1. traced query — ``POST /query`` mints a trace at the HTTP ingress;
+   the id comes back in the ``x-trace-id`` header and the response
+   body, and ``GET /trace/{id}`` returns the span tree.  The
+   ``shard.query`` spans were recorded inside the worker *processes*
+   and shipped back with the replies — one trace across the process
+   boundary;
+2. metrics — ``GET /metrics`` renders every subsystem's counters from
+   one consistent snapshot as Prometheus text (cache, plan cache,
+   calibrator, admission gate, per-shard health, latency histogram);
+3. slow queries — a threshold of 0 forces every query into the slow
+   log, each record carrying its trace id, plan choice, and per-span
+   breakdown.
+
+Run:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.biozon import BiozonConfig, generate
+from repro.core import TopologySearchSystem
+from repro.service import ShardCoordinator
+from repro.service.http import TestClient, create_app
+from repro.shard import split_system
+
+NUM_SHARDS = 2
+
+QUERY = {
+    "entity1": "Protein",
+    "entity2": "DNA",
+    "constraint1": {"kind": "keyword", "column": "DESC", "keyword": "kinase"},
+    "constraint2": {"kind": "none"},
+    "k": 4,
+    "ranking": "rare",
+}
+
+
+def print_tree(nodes, depth=0) -> None:
+    for node in nodes:
+        tags = {k: v for k, v in node["tags"].items() if k in ("shard", "pid")}
+        suffix = f"  {tags}" if tags else ""
+        print(
+            f"    {'  ' * depth}{node['name']:<{24 - 2 * depth}}"
+            f" {node['elapsed_seconds'] * 1000:7.2f} ms{suffix}"
+        )
+        print_tree(node["children"], depth + 1)
+
+
+def main() -> None:
+    ds = generate(BiozonConfig.tiny(seed=4))
+    system = TopologySearchSystem(ds.database, ds.graph())
+    system.build([("Protein", "DNA")], max_length=3)
+
+    with tempfile.TemporaryDirectory(prefix="observability-") as directory:
+        split = split_system(system, NUM_SHARDS, directory)
+        with ShardCoordinator(
+            split.manifest_path, slow_query_seconds=0.0
+        ) as coordinator:
+            with create_app(coordinator) as app, TestClient(app) as client:
+                # 1. One traced query across the process boundary.
+                response = client.post("/query", json=QUERY)
+                trace_id = response.headers["x-trace-id"]
+                print(f"POST /query -> {response.status}, trace {trace_id}")
+
+                tree = client.get(f"/trace/{trace_id}").json()
+                print(f"  GET /trace/{trace_id}: {tree['span_count']} spans")
+                print_tree(tree["spans"])
+
+                # 2. The Prometheus exposition, one consistent snapshot.
+                text = client.get("/metrics").text
+                lines = text.splitlines()
+                print(f"\nGET /metrics: {len(lines)} lines, e.g.")
+                for line in lines:
+                    if line.startswith(("repro_shard_up", "repro_cache_",
+                                        "repro_trace_spans_recorded")):
+                        print(f"    {line}")
+
+                # 3. The slow-query log (threshold 0: everything is slow).
+                (record,) = coordinator.slow_query_log.recent()
+                print(
+                    f"\nslow query: trace {record['trace_id']}, "
+                    f"{record['elapsed_seconds'] * 1000:.1f} ms, "
+                    f"spans: {[s['name'] for s in record['spans']]}"
+                )
+                assert record["trace_id"] == trace_id
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,8 @@ from repro.core.topologies import DEFAULT_COMBINATION_CAP
 from repro.core.weak import WeakPathRules
 from repro.errors import TopologyError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.relational.database import Database
 from repro.relational.sql.planner import Engine
 from repro.relational.statistics import StatsCatalog
@@ -58,12 +60,16 @@ class BuildReport:
 
     ``parallel`` is populated only for partitioned builds
     (``build(parallel=N)`` with N >= 2): worker count, partition count,
-    per-partition task timings, and merge overhead."""
+    per-partition task timings, and merge overhead.  ``spans`` holds the
+    build-phase trace (wire-format span records: compute, prune,
+    materialize — plus the parallel fan-out phases when applicable) when
+    tracing is enabled."""
 
     alltops: AllTopsReport
     pruning: Optional[PruneReport]
     elapsed_seconds: float
     parallel: Optional["ParallelBuildReport"] = None
+    spans: List[Dict[str, object]] = field(default_factory=list)
 
 
 class TopologySearchSystem:
@@ -144,36 +150,47 @@ class TopologySearchSystem:
             )
         store = TopologyStore(self.weak_rules)
         parallel_report: Optional["ParallelBuildReport"] = None
-        if parallel and parallel >= 2:
-            from repro.parallel import compute_alltops_parallel
+        with obs_span(
+            "engine.build", ingress=True, pairs=len(entity_pairs), max_length=max_length
+        ) as build_span:
+            with obs_span("build.compute_alltops", parallel=int(parallel or 0)):
+                if parallel and parallel >= 2:
+                    from repro.parallel import compute_alltops_parallel
 
-            store, alltops_report, parallel_report = compute_alltops_parallel(
-                self.graph,
-                entity_pairs,
-                max_length,
-                workers=parallel,
-                partitions=partitions,
-                store=store,
-                combination_cap=combination_cap,
-                per_pair_path_limit=per_pair_path_limit,
-            )
-        else:
-            store, alltops_report = compute_alltops(
-                self.graph,
-                entity_pairs,
-                max_length,
-                store=store,
-                combination_cap=combination_cap,
-                per_pair_path_limit=per_pair_path_limit,
-            )
-        prune_report: Optional[PruneReport] = None
-        if prune:
-            prune_report = apply_pruning(store, prune_threshold)
-        else:
-            store.lefttops_rows = list(store.alltops_rows)
-            store.excptops_rows = []
-        store.materialize(self.database)
-        self.stats.refresh()
+                    store, alltops_report, parallel_report = compute_alltops_parallel(
+                        self.graph,
+                        entity_pairs,
+                        max_length,
+                        workers=parallel,
+                        partitions=partitions,
+                        store=store,
+                        combination_cap=combination_cap,
+                        per_pair_path_limit=per_pair_path_limit,
+                    )
+                else:
+                    store, alltops_report = compute_alltops(
+                        self.graph,
+                        entity_pairs,
+                        max_length,
+                        store=store,
+                        combination_cap=combination_cap,
+                        per_pair_path_limit=per_pair_path_limit,
+                    )
+            prune_report: Optional[PruneReport] = None
+            with obs_span("build.prune", enabled=prune):
+                if prune:
+                    prune_report = apply_pruning(store, prune_threshold)
+                else:
+                    store.lefttops_rows = list(store.alltops_rows)
+                    store.excptops_rows = []
+            with obs_span("build.materialize"):
+                store.materialize(self.database)
+                self.stats.refresh()
+        build_spans: List[Dict[str, object]] = []
+        if build_span.trace_id is not None:
+            build_spans = [
+                s.to_wire() for s in obs_tracer().trace_spans(build_span.trace_id)
+            ]
         self.store = store
         self.max_length = max_length
         self.built_pairs = [tuple(p) for p in entity_pairs]
@@ -195,6 +212,7 @@ class TopologySearchSystem:
             pruning=prune_report,
             elapsed_seconds=time.perf_counter() - start,
             parallel=parallel_report,
+            spans=build_spans,
         )
         return self.build_report
 

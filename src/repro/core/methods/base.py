@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.plan import STRATEGY_REGULAR, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.core.ranking import score_column
+from repro.obs import span
 from repro.relational.sql.tokens import sql_quote
 
 
@@ -95,12 +96,14 @@ class Method:
     def run(self, query: TopologyQuery) -> MethodResult:
         self.system.validate_query(query)
         t0 = time.perf_counter()
-        plan = self.plan(query)
+        with span("engine.plan", method=self.name):
+            plan = self.plan(query)
         planning_seconds = time.perf_counter() - t0
         stats = self.system.database.stats
         before = stats.snapshot()
         t1 = time.perf_counter()
-        tids, scores = self.execute(plan, query)
+        with span("engine.execute", method=self.name, strategy=plan.choice):
+            tids, scores = self.execute(plan, query)
         execute_seconds = time.perf_counter() - t1
         after = stats.snapshot()
         work = {k: after[k] - before[k] for k in after}

@@ -1,0 +1,50 @@
+"""Observability: trace context + spans, metrics registry, slow-query log.
+
+Stdlib-only. Nothing in this package imports from the rest of ``repro``,
+so every layer (core engine, parallel build, shard split, serving) can
+instrument itself without creating import cycles.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    bucket_index,
+    prom_name,
+    registry,
+)
+from .slowlog import (
+    SLOW_QUERY_LOGGER,
+    SlowQueryLog,
+    default_slow_query_seconds,
+    query_summary,
+)
+from .trace import (
+    NOOP_SPAN,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    current_trace,
+    current_wire,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SLOW_QUERY_LOGGER",
+    "SlowQueryLog",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "bucket_index",
+    "current_trace",
+    "current_wire",
+    "default_slow_query_seconds",
+    "prom_name",
+    "query_summary",
+    "registry",
+    "span",
+    "tracer",
+]

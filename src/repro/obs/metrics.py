@@ -1,0 +1,321 @@
+"""Unified metrics registry with Prometheus text exposition.
+
+One process-wide :class:`MetricsRegistry` owns every metric behind a
+stable dotted name (``repro.http.requests``); rendering converts dots to
+underscores for the Prometheus name charset.  Each metric carries its
+own lock and is snapshotted in a single acquisition — the same
+torn-read discipline `/stats` follows — and *collectors* let a scrape
+derive many samples from one consistent source snapshot instead of
+locking many components one by one.
+
+Only stdlib; histogram buckets are fixed at registration (bounded
+memory, O(#buckets) per observe).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "bucket_index",
+    "prom_name",
+    "registry",
+]
+
+#: Latency bucket upper bounds in seconds, shared with
+#: ``LatencyStats`` so `/metrics` histograms and `/stats` buckets agree.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+# A sample is (suffix-less metric name, labels, value).
+Sample = Tuple[str, Dict[str, str], float]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def bucket_index(bounds: Sequence[float], value: float) -> int:
+    """Index of the first bucket whose upper bound holds ``value``;
+    ``len(bounds)`` means the implicit +Inf bucket."""
+    return bisect_left(bounds, value)
+
+
+def prom_name(dotted: str) -> str:
+    """``repro.http.requests`` → ``repro_http_requests``."""
+    out = []
+    for ch in dotted:
+        if ch.isalnum() or ch == "_" or ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    name = "".join(out)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Base: name, help text, per-metric lock, labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def samples(self) -> List[Sample]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            items = list(self._values.items())
+        if not items:
+            return [(self.name, {}, 0.0)]
+        return [(self.name, dict(key), value) for key, value in items]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            items = list(self._values.items())
+        if not items:
+            return [(self.name, {}, 0.0)]
+        return [(self.name, dict(key), value) for key, value in items]
+
+
+class Histogram(_Metric):
+    """Fixed-bound histogram exporting cumulative ``_bucket``/``_sum``/
+    ``_count`` series, Prometheus-style."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts: Dict[_LabelKey, List[int]] = {}
+        self._sums: Dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        index = bucket_index(self.bounds, value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.bounds) + 1)
+                self._counts[key] = counts
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def samples(self) -> List[Sample]:
+        with self._lock:
+            items = [
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            ]
+        if not items:
+            items = [((), [0] * (len(self.bounds) + 1), 0.0)]
+        out: List[Sample] = []
+        for key, counts, total in items:
+            labels = dict(key)
+            running = 0
+            for bound, count in zip(self.bounds, counts):
+                running += count
+                out.append(
+                    (self.name + "_bucket", {**labels, "le": _format_value(bound)}, float(running))
+                )
+            running += counts[-1]
+            out.append((self.name + "_bucket", {**labels, "le": "+Inf"}, float(running)))
+            out.append((self.name + "_sum", labels, total))
+            out.append((self.name + "_count", labels, float(running)))
+        return out
+
+
+class MetricsRegistry:
+    """Process-wide registry: get-or-create metrics, pluggable
+    collectors, and a single :meth:`render` to Prometheus text."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+        self._collectors: List[Callable[[], Iterable[Tuple[str, str, str, Sample]]]] = []
+
+    # -- registration ------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def add_collector(
+        self, fn: Callable[[], Iterable[Tuple[str, str, str, Sample]]]
+    ) -> None:
+        """Register a scrape-time callback yielding
+        ``(name, kind, help, sample)`` tuples derived from one
+        consistent snapshot of some component."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
+
+    # -- rendering ---------------------------------------------------
+
+    def gather(self) -> "List[Tuple[str, str, str, List[Sample]]]":
+        """All families as ``(dotted_name, kind, help, samples)``."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors)
+        families: Dict[str, Tuple[str, str, List[Sample]]] = {}
+        for metric in metrics:
+            families[metric.name] = (metric.kind, metric.help, metric.samples())
+        for collect in collectors:
+            for name, kind, help_text, sample in collect():
+                kind0, help0, samples = families.setdefault(name, (kind, help_text, []))
+                samples.append(sample)
+        return [
+            (name, kind, help_text, samples)
+            for name, (kind, help_text, samples) in sorted(families.items())
+        ]
+
+    def render(self, extra_families=None) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        families = self.gather()
+        if extra_families:
+            families = families + list(extra_families)
+        seen: set = set()
+        for dotted, kind, help_text, samples in families:
+            base = prom_name(dotted)
+            if base in seen:
+                continue
+            seen.add(base)
+            if help_text:
+                lines.append(f"# HELP {base} {help_text}")
+            lines.append(f"# TYPE {base} {kind}")
+            for sample_name, labels, value in samples:
+                name = prom_name(sample_name)
+                if labels:
+                    body = ",".join(
+                        f'{prom_name(k)}="{_escape_label(str(v))}"'
+                        for k, v in sorted(labels.items())
+                    )
+                    lines.append(f"{name}{{{body}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY

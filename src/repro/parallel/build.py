@@ -39,6 +39,7 @@ from repro.core.alltops import (
 from repro.core.store import TopologyStore
 from repro.core.topologies import DEFAULT_COMBINATION_CAP
 from repro.errors import TopologyError
+from repro.obs import span as obs_span
 from repro.parallel.partition import stable_partition
 from repro.parallel.worker import (
     BuildContext,
@@ -195,7 +196,12 @@ def compute_alltops_parallel(
     context = multiprocessing.get_context(method)
     pool_start = time.perf_counter()
     try:
-        with context.Pool(
+        with obs_span(
+            "build.fanout",
+            workers=workers,
+            partitions=partitions,
+            start_method=method,
+        ), context.Pool(
             processes=workers, initializer=init_worker, initargs=initargs
         ) as pool:
             # Unordered consumption: the merge below imposes its own
@@ -220,33 +226,34 @@ def compute_alltops_parallel(
     # Looking each source up in its owning bucket's result replays the
     # exact record sequence the serial loop would have produced.
     merge_start = time.perf_counter()
-    for pair_index, (es1, es2) in enumerate(entity_pairs):
-        for source in by_type.get(es1, []):
-            bucket = stable_partition(source, partitions)
-            result = results.get((pair_index, bucket))
-            if result is None:  # pragma: no cover - pool must yield all
-                raise TopologyError(
-                    f"partition task ({pair_index}, {bucket}) never returned"
-                )
-            records = result.records.get(source)
-            if records:
-                replay_source_records(
-                    store, report, source, (es1, es2), records
-                )
-    # Completeness check: every pair a worker related must have been
-    # replayed.  Node ids that don't survive the worker round-trip —
-    # identity-equality objects, or types whose repr differs across
-    # processes (see partition._canonical_bytes's fallback) — would
-    # otherwise vanish from the store silently.
-    produced = sum(r.pairs_related for r in results.values())
-    if report.pairs_related != produced:
-        raise TopologyError(
-            f"partitioned merge replayed {report.pairs_related} related "
-            f"pairs but workers produced {produced}; node ids must "
-            f"round-trip pickling with value equality (int/str/bytes/"
-            f"tuples thereof) to be partitionable"
-        )
-    store.finalize()
+    with obs_span("build.merge", tasks=len(tasks)):
+        for pair_index, (es1, es2) in enumerate(entity_pairs):
+            for source in by_type.get(es1, []):
+                bucket = stable_partition(source, partitions)
+                result = results.get((pair_index, bucket))
+                if result is None:  # pragma: no cover - pool must yield all
+                    raise TopologyError(
+                        f"partition task ({pair_index}, {bucket}) never returned"
+                    )
+                records = result.records.get(source)
+                if records:
+                    replay_source_records(
+                        store, report, source, (es1, es2), records
+                    )
+        # Completeness check: every pair a worker related must have been
+        # replayed.  Node ids that don't survive the worker round-trip —
+        # identity-equality objects, or types whose repr differs across
+        # processes (see partition._canonical_bytes's fallback) — would
+        # otherwise vanish from the store silently.
+        produced = sum(r.pairs_related for r in results.values())
+        if report.pairs_related != produced:
+            raise TopologyError(
+                f"partitioned merge replayed {report.pairs_related} related "
+                f"pairs but workers produced {produced}; node ids must "
+                f"round-trip pickling with value equality (int/str/bytes/"
+                f"tuples thereof) to be partitionable"
+            )
+        store.finalize()
     parallel_report.merge_seconds = time.perf_counter() - merge_start
 
     report.distinct_topologies = len(store.topologies)

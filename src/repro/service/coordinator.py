@@ -47,6 +47,8 @@ the serving generation untouched; readers never observe a mixed set.
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 import shutil
 import tempfile
@@ -59,6 +61,9 @@ from repro.core.methods import METHOD_CLASSES, MethodResult
 from repro.core.plan import PlanCacheStats, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.errors import ShardError, ShardUnavailableError, TopologyError
+from repro.obs import SlowQueryLog, current_trace, query_summary
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.parallel.partition import histogram_skew
 from repro.service.cache import MISSING, CacheStats, LRUCache
 from repro.service.facade import (
@@ -72,6 +77,8 @@ from repro.shard.build import SKEW_WARNING_THRESHOLD
 from repro.shard.manifest import ShardManifest, read_manifest
 
 __all__ = ["CoordinatorStats", "ScatterPlan", "ShardCoordinator"]
+
+_LOG = logging.getLogger("repro.shard")
 
 
 @dataclass(frozen=True)
@@ -96,7 +103,10 @@ class CoordinatorStats:
     (same invariants: ``hits + misses == requests``, ``misses ==
     executions + coalesced``) so the HTTP stats serializer applies
     unchanged; ``shards`` adds the per-shard sections (routing load,
-    health counters, skew)."""
+    health counters, skew), ``uptime_seconds`` how long this
+    coordinator has been serving, and ``started_generation`` the
+    generation it started on (``generation - started_generation`` =
+    rebuild commits this process has lived through)."""
 
     generation: int
     requests: int
@@ -109,6 +119,8 @@ class CoordinatorStats:
     result_cache: CacheStats
     plan_cache: PlanCacheStats
     shards: List[Dict[str, Any]] = field(default_factory=list)
+    uptime_seconds: float = 0.0
+    started_generation: int = 1
 
 
 class ShardCoordinator:
@@ -129,6 +141,7 @@ class ShardCoordinator:
         shard_timeout: float = 30.0,
         retry_after: int = 1,
         start_method: Optional[str] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         if not isinstance(manifest, ShardManifest):
             manifest = read_manifest(manifest)
@@ -154,6 +167,12 @@ class ShardCoordinator:
         self._shard_rows: List[int] = self._count_routed_rows(manifest)
         self._owned_dir: Optional[str] = None  # generation dir we created
         self._closed = False
+        self.slow_query_log = SlowQueryLog(slow_query_seconds, source="coordinator")
+        self._started_monotonic = time.monotonic()
+        self._started_generation = self._generation
+        # Routing-skew warnings are emitted at most once per generation
+        # (a /stats poller past 2x skew must not flood the logs).
+        self._skew_warned_generation: Optional[int] = None
         self._requests = 0
         self._executions = 0
         self._coalesced = 0
@@ -375,44 +394,81 @@ class ShardCoordinator:
         plan = self.scatter_plan(name)
         if not backends:
             raise TopologyError("coordinator is closed")
-        calls = []
-        for backend in backends:
-            self._bump_shard(backend.shard_index, "calls")
-            try:
-                calls.append(
-                    backend.submit("query_batch", (name, list(items)))
-                )
-            except ShardUnavailableError:
-                self._bump_shard(backend.shard_index, "failures")
-                raise
-        partials: Dict[int, List[MethodResult]] = {
-            index: [] for index, _ in items
-        }
-        for backend, call in zip(backends, calls):
-            try:
-                reply = call.result()
-            except ShardUnavailableError:
-                self._bump_shard(backend.shard_index, "timeouts")
-                self._bump_shard(backend.shard_index, "failures")
-                raise
-            except Exception:
-                self._bump_shard(backend.shard_index, "failures")
-                raise
-            for index, partial in reply:
-                partials[index].append(partial)
-        queries = dict(items)
-        merged: Dict[int, MethodResult] = {}
-        for index, parts in partials.items():
-            if len(parts) != len(backends):  # pragma: no cover - defensive
-                raise ShardError(
-                    f"query {index} got {len(parts)} partial answers "
-                    f"from {len(backends)} shards"
-                )
-            result = self._merge(plan, queries[index], parts)
-            result.generation = generation
-            self._record_latency(name, result.elapsed_seconds)
-            merged[index] = result
+        with obs_span(
+            "coordinator.scatter",
+            ingress=True,
+            method=name,
+            shards=len(backends),
+            items=len(items),
+        ):
+            calls = []
+            for backend in backends:
+                self._bump_shard(backend.shard_index, "calls")
+                try:
+                    calls.append(
+                        backend.submit("query_batch", (name, list(items)))
+                    )
+                except ShardUnavailableError:
+                    self._bump_shard(backend.shard_index, "failures")
+                    raise
+            partials: Dict[int, List[MethodResult]] = {
+                index: [] for index, _ in items
+            }
+            for backend, call in zip(backends, calls):
+                try:
+                    reply = call.result()
+                except ShardUnavailableError:
+                    self._bump_shard(backend.shard_index, "timeouts")
+                    self._bump_shard(backend.shard_index, "failures")
+                    raise
+                except Exception:
+                    self._bump_shard(backend.shard_index, "failures")
+                    raise
+                for index, partial in reply:
+                    partials[index].append(partial)
+            queries = dict(items)
+            merged: Dict[int, MethodResult] = {}
+            for index, parts in partials.items():
+                if len(parts) != len(backends):  # pragma: no cover - defensive
+                    raise ShardError(
+                        f"query {index} got {len(parts)} partial answers "
+                        f"from {len(backends)} shards"
+                    )
+                result = self._merge(plan, queries[index], parts)
+                result.generation = generation
+                self._record_latency(name, result.elapsed_seconds)
+                if (
+                    result.elapsed_seconds
+                    >= self.slow_query_log.threshold_seconds
+                ):
+                    self._slow_query(generation, name, queries[index], result)
+                merged[index] = result
         return merged
+
+    def _slow_query(
+        self,
+        generation: int,
+        name: str,
+        query: TopologyQuery,
+        result: MethodResult,
+    ) -> None:
+        """One structured slow-query record for a merged answer.  The
+        span breakdown covers the per-shard ``shard.query`` spans (and
+        their engine children) already gathered into this trace; the
+        calibrator lives shard-side, so its version is not reported
+        here."""
+        ctx = current_trace()
+        spans = obs_tracer().trace_spans(ctx.trace_id) if ctx is not None else []
+        self.slow_query_log.maybe_record(
+            elapsed_seconds=result.elapsed_seconds,
+            method=name,
+            query=query_summary(query),
+            generation=generation,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            plan={"choice": result.plan_choice},
+            calibrator_version=None,
+            spans=spans,
+        )
 
     @staticmethod
     def _merge(
@@ -614,6 +670,8 @@ class ShardCoordinator:
                     hits=0, misses=0, size=0, capacity=0, invalidations=0
                 ),
                 shards=self.shard_sections(),
+                uptime_seconds=time.monotonic() - self._started_monotonic,
+                started_generation=self._started_generation,
             )
 
     def shard_digests(self) -> List[str]:
@@ -634,11 +692,66 @@ class ShardCoordinator:
 
     def skew_report(self) -> Dict[str, Any]:
         """The /stats skew block: histogram, max/mean ratio, and the
-        structured warning flag when the serving set is imbalanced."""
+        structured warning flag when the serving set is imbalanced.
+        The structured log warning itself fires at most once per
+        generation — a /stats poller watching a skewed set must not
+        flood the logs on every read."""
         skew = self.partition_skew()
+        warning = skew > SKEW_WARNING_THRESHOLD
+        if warning:
+            self._warn_skew_once(skew)
         return {
             "row_histogram": list(self._shard_rows),
             "skew": skew,
-            "skew_warning": skew > SKEW_WARNING_THRESHOLD,
+            "skew_warning": warning,
             "threshold": SKEW_WARNING_THRESHOLD,
         }
+
+    def _warn_skew_once(self, skew: float) -> None:
+        generation = self._generation
+        with self._counter_lock:
+            if self._skew_warned_generation == generation:
+                return
+            self._skew_warned_generation = generation
+        _LOG.warning(
+            "shard routing skew %.2fx exceeds %.1fx: %s",
+            skew,
+            SKEW_WARNING_THRESHOLD,
+            json.dumps(
+                {
+                    "event": "shard_routing_skew",
+                    "generation": generation,
+                    "set_id": self._manifest.set_id,
+                    "num_shards": self._manifest.count,
+                    "skew": skew,
+                    "row_histogram": list(self._shard_rows),
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def shard_obs_sections(self) -> List[Dict[str, Any]]:
+        """Best-effort per-shard observability sections for `/metrics`:
+        plan-cache counters and calibrator state scraped from each live
+        worker.  A dead or slow shard reports ``{"up": False}`` instead
+        of failing the scrape — metrics must stay readable exactly when
+        shards are in trouble."""
+        with self._rw.read_locked():
+            backends = list(self._backends)
+        calls: List[Tuple[int, Any]] = []
+        for backend in backends:
+            try:
+                calls.append((backend.shard_index, backend.submit("obs_stats")))
+            except ShardUnavailableError:
+                calls.append((backend.shard_index, None))
+        sections: List[Dict[str, Any]] = []
+        for shard_index, call in calls:
+            section: Dict[str, Any] = {"index": shard_index, "up": False}
+            if call is not None:
+                try:
+                    section.update(call.result())
+                    section["up"] = True
+                except Exception:
+                    pass
+            sections.append(section)
+        return sections

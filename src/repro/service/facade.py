@@ -42,6 +42,7 @@ from repro.core.engine import BuildReport, TopologySearchSystem
 from repro.core.methods import MethodResult
 from repro.core.plan import PlanCacheStats, QueryPlan
 from repro.core.query import TopologyQuery
+from repro.obs import LATENCY_BUCKETS, bucket_index
 from repro.service.cache import MISSING, CacheStats, LRUCache
 
 DEFAULT_METHOD = "fast-top-k-opt"
@@ -96,11 +97,15 @@ def resolve_rebuild_config(
 class LatencyStats:
     """Running wall-clock statistics for one method's executions.
 
-    Keeps exact count/total/min/max plus a bounded window of the most
-    recent samples for percentile estimates.  :meth:`record` and the
-    window reads hold an internal lock: many threads record into one
-    instance, and ``count``/``total_seconds`` are read-modify-write
-    updates that would lose increments unguarded."""
+    Keeps exact count/total/min/max, exact per-bucket counts over the
+    shared :data:`~repro.obs.LATENCY_BUCKETS` bounds (every sample ever
+    recorded lands in exactly one bucket, so the bucket counts always
+    sum to ``count`` — unlike the percentile window, they never forget),
+    plus a bounded window of the most recent samples for percentile
+    estimates.  :meth:`record` and the window reads hold an internal
+    lock: many threads record into one instance, and
+    ``count``/``total_seconds`` are read-modify-write updates that would
+    lose increments unguarded."""
 
     method: str
     count: int = 0
@@ -109,6 +114,9 @@ class LatencyStats:
     max_seconds: float = 0.0
     _window: List[float] = field(default_factory=list, repr=False)
     _cursor: int = field(default=0, repr=False)
+    _buckets: List[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS) + 1), repr=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -119,6 +127,7 @@ class LatencyStats:
             self.total_seconds += seconds
             self.min_seconds = min(self.min_seconds, seconds)
             self.max_seconds = max(self.max_seconds, seconds)
+            self._buckets[bucket_index(LATENCY_BUCKETS, seconds)] += 1
             if len(self._window) < LATENCY_SAMPLE_WINDOW:
                 self._window.append(seconds)
             else:  # ring buffer over the most recent samples
@@ -149,20 +158,28 @@ class LatencyStats:
             window = list(self._window)
         return self._nearest_rank(sorted(window), q)
 
-    def snapshot(self) -> Dict[str, float]:
-        """All statistics from ONE lock acquisition: counters and
-        percentiles describe the same instant.  (The old version read
-        the counters, released the lock, then re-locked once per
-        percentile — concurrent ``record()`` calls could slip between,
-        yielding a p50 and p95 from *different* windows than the count
-        in the same payload.  The HTTP ``/stats`` endpoint serves this
-        dict verbatim, so the tear was wire-visible.)"""
+    def snapshot(self) -> Dict[str, Any]:
+        """All statistics from ONE lock acquisition: counters,
+        percentiles, and buckets describe the same instant.  (The old
+        version read the counters, released the lock, then re-locked
+        once per percentile — concurrent ``record()`` calls could slip
+        between, yielding a p50 and p95 from *different* windows than
+        the count in the same payload.  The HTTP ``/stats`` endpoint
+        serves this dict verbatim, so the tear was wire-visible.)
+
+        ``buckets`` holds exact per-bucket counts over the shared
+        ``LATENCY_BUCKETS`` bounds (``le`` lists the upper edges; the
+        final count is the implicit +Inf bucket).  The counts sum to
+        ``count`` — they cover every sample ever recorded, not just the
+        percentile window — so `/metrics` can export this snapshot as a
+        Prometheus histogram without inventing samples."""
         with self._lock:
             count = self.count
             total = self.total_seconds
             minimum = self.min_seconds
             maximum = self.max_seconds
             ordered = sorted(self._window)
+            buckets = list(self._buckets)
         return {
             "count": count,
             "total_seconds": total,
@@ -172,6 +189,7 @@ class LatencyStats:
             "p50_seconds": self._nearest_rank(ordered, 50),
             "p95_seconds": self._nearest_rank(ordered, 95),
             "p99_seconds": self._nearest_rank(ordered, 99),
+            "buckets": {"le": list(LATENCY_BUCKETS), "counts": buckets},
         }
 
 

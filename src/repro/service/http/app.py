@@ -10,14 +10,24 @@ or poke it in-process with the test client
 
 The endpoint surface::
 
-    GET  /healthz      liveness + serving generation
-    GET  /stats        one consistent counter snapshot (+ latency, + http)
-    POST /query        one topology query -> result JSON (chunk-streamed
-                       when the tid list is large)
-    POST /query_many   a batch -> NDJSON stream, one result line per
-                       query in submission order + a summary line
-    POST /explain      the plan a query would run, costs + rendered tree
-    POST /rebuild      hot-swap rebuild; returns the new generation
+    GET  /healthz        liveness + serving generation
+    GET  /stats          one consistent counter snapshot (+ latency, + http)
+    GET  /metrics        Prometheus text exposition (see .metricsview)
+    GET  /trace/{id}     one trace's span tree with timings
+    GET  /traces/recent  newest-first summaries of buffered traces
+    POST /query          one topology query -> result JSON (chunk-streamed
+                         when the tid list is large)
+    POST /query_many     a batch -> NDJSON stream, one result line per
+                         query in submission order + a summary line
+    POST /explain        the plan a query would run, costs + rendered tree
+    POST /rebuild        hot-swap rebuild; returns the new generation
+
+Every request opens an ``http.request`` ingress span: the trace id it
+mints (returned in the ``x-trace-id`` response header and the ``/query``
+body) keys the whole request's span tree — engine spans on this process,
+and, behind a :class:`~repro.service.coordinator.ShardCoordinator`,
+the ``shard.query`` spans shipped back from the worker processes.
+``GET /trace/{id}`` renders that tree.
 
 Request handling is layered the same way for every endpoint: read the
 body (bounded), parse + validate (:mod:`.schemas`), pass the admission
@@ -48,6 +58,7 @@ so the pool can never be oversubscribed by traffic.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
@@ -55,7 +66,11 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ShardUnavailableError, TopologyError
+from repro.obs import registry as obs_registry
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.service.http.admission import AdmissionGate, AdmissionRejected
+from repro.service.http.metricsview import metrics_families
 from repro.service.http.reqlog import RequestLog, RequestLogger
 from repro.service.http.schemas import (
     RequestValidationError,
@@ -71,6 +86,9 @@ __all__ = ["TopologyHttpApp", "create_app"]
 
 _JSON_CONTENT = [(b"content-type", b"application/json")]
 _NDJSON_CONTENT = [(b"content-type", b"application/x-ndjson")]
+_PROMETHEUS_CONTENT = [
+    (b"content-type", b"text/plain; version=0.0.4; charset=utf-8")
+]
 
 
 class _HttpError(Exception):
@@ -154,6 +172,8 @@ class TopologyHttpApp:
         self._routes: Dict[str, Dict[str, Callable]] = {
             "/healthz": {"GET": self._handle_healthz},
             "/stats": {"GET": self._handle_stats},
+            "/metrics": {"GET": self._handle_metrics},
+            "/traces/recent": {"GET": self._handle_traces_recent},
             "/query": {"POST": self._handle_query},
             "/query_many": {"POST": self._handle_query_many},
             "/explain": {"POST": self._handle_explain},
@@ -183,39 +203,44 @@ class TopologyHttpApp:
             raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
         verb = scope["method"].upper()
         path = scope["path"]
-        log = self.log.start(verb, path)
-        with self._stats_lock:
-            self._requests_total += 1
-        try:
-            try:
-                handler = self._resolve(verb, path)
-                await handler(scope, receive, send, log)
-            except _HttpError as error:
-                await self._send_error(send, error, log)
-            except AdmissionRejected as rejected:
-                await self._send_error(
-                    send,
-                    _HttpError(
-                        503,
-                        "overloaded",
-                        f"server at capacity ({rejected.reason}); retry later",
-                        retry_after=rejected.retry_after,
-                    ),
-                    log,
-                )
-            except Exception as error:  # noqa: BLE001 - the 500 boundary
-                await self._send_error(
-                    send,
-                    _HttpError(500, "internal", f"internal error: {type(error).__name__}"),
-                    log,
-                )
-        finally:
-            status_class = f"{(log.status or 500) // 100}xx"
+        # The ingress span starts the trace; its id keys the request log
+        # line, the x-trace-id header, and every child span (including
+        # the ones shard workers ship back across the process boundary).
+        with obs_span("http.request", ingress=True, verb=verb, path=path) as http_span:
+            log = self.log.start(verb, path, trace_id=http_span.trace_id)
             with self._stats_lock:
-                self._responses_by_class[status_class] = (
-                    self._responses_by_class.get(status_class, 0) + 1
-                )
-            self.log.finish(log)
+                self._requests_total += 1
+            try:
+                try:
+                    handler = self._resolve(verb, path)
+                    await handler(scope, receive, send, log)
+                except _HttpError as error:
+                    await self._send_error(send, error, log)
+                except AdmissionRejected as rejected:
+                    await self._send_error(
+                        send,
+                        _HttpError(
+                            503,
+                            "overloaded",
+                            f"server at capacity ({rejected.reason}); retry later",
+                            retry_after=rejected.retry_after,
+                        ),
+                        log,
+                    )
+                except Exception as error:  # noqa: BLE001 - the 500 boundary
+                    await self._send_error(
+                        send,
+                        _HttpError(500, "internal", f"internal error: {type(error).__name__}"),
+                        log,
+                    )
+            finally:
+                http_span.tag(status=log.status)
+                status_class = f"{(log.status or 500) // 100}xx"
+                with self._stats_lock:
+                    self._responses_by_class[status_class] = (
+                        self._responses_by_class.get(status_class, 0) + 1
+                    )
+                self.log.finish(log)
 
     async def _handle_lifespan(self, receive, send) -> None:
         while True:
@@ -228,6 +253,10 @@ class TopologyHttpApp:
 
     def _resolve(self, verb: str, path: str):
         route = self._routes.get(path)
+        if route is None and path.startswith("/trace/") and len(path) > len("/trace/"):
+            # The one parameterized route: /trace/{id}.  The id is
+            # re-extracted from scope["path"] by the handler.
+            route = {"GET": self._handle_trace}
         if route is None:
             raise _HttpError(404, "not_found", f"no such endpoint: {path}")
         handler = route.get(verb)
@@ -279,11 +308,18 @@ class TopologyHttpApp:
         a synchronous engine call cannot be interrupted — but its
         admission slot is released only when it finishes, so a pile-up
         of timed-out work still sheds load at the gate instead of
-        oversubscribing the pool."""
+        oversubscribing the pool.
+
+        The call runs under a copy of the caller's ``contextvars``
+        context: ``run_in_executor`` does not propagate context on its
+        own, and without it the engine's spans would detach from the
+        ``http.request`` trace."""
         loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
         try:
             return await asyncio.wait_for(
-                loop.run_in_executor(self._executor, fn), timeout=timeout
+                loop.run_in_executor(self._executor, lambda: ctx.run(fn)),
+                timeout=timeout,
             )
         except asyncio.TimeoutError:
             raise _HttpError(
@@ -292,6 +328,12 @@ class TopologyHttpApp:
                 f"request exceeded the {timeout:g}s execution budget",
                 retry_after=self.gate.retry_after,
             ) from None
+
+    @staticmethod
+    def _trace_headers(log: RequestLog) -> List:
+        if log.trace_id is None:
+            return []
+        return [(b"x-trace-id", log.trace_id.encode("ascii"))]
 
     async def _send_json(
         self, send, payload: Any, log: RequestLog, status: int = 200
@@ -302,7 +344,9 @@ class TopologyHttpApp:
             {
                 "type": "http.response.start",
                 "status": status,
-                "headers": _JSON_CONTENT + [(b"content-length", str(len(body)).encode())],
+                "headers": _JSON_CONTENT
+                + [(b"content-length", str(len(body)).encode())]
+                + self._trace_headers(log),
             }
         )
         await send({"type": "http.response.body", "body": body})
@@ -314,7 +358,11 @@ class TopologyHttpApp:
             # more can be sent on this exchange.
             return
         body = _error_body(error)
-        headers = _JSON_CONTENT + [(b"content-length", str(len(body)).encode())]
+        headers = (
+            _JSON_CONTENT
+            + [(b"content-length", str(len(body)).encode())]
+            + self._trace_headers(log)
+        )
         if error.retry_after is not None:
             headers.append((b"retry-after", str(error.retry_after).encode()))
         if error.allow is not None:
@@ -371,6 +419,8 @@ class TopologyHttpApp:
         shards = getattr(stats, "shards", None)
         if shards is not None:
             payload["shards"] = shards
+            payload["uptime_seconds"] = stats.uptime_seconds
+            payload["started_generation"] = stats.started_generation
             skew_report = getattr(self.server, "skew_report", None)
             if skew_report is not None:
                 payload["sharding"] = skew_report()
@@ -383,6 +433,54 @@ class TopologyHttpApp:
         payload["http"] = http_section
         log.generation = stats.generation
         await self._send_json(send, payload, log)
+
+    async def _handle_metrics(self, scope, receive, send, log: RequestLog) -> None:
+        with self._stats_lock:
+            http_section = {
+                "requests_total": self._requests_total,
+                "responses_by_class": dict(self._responses_by_class),
+            }
+        gate_stats = self.gate.stats()
+        tracer_stats = obs_tracer().stats()
+        # The server snapshot (and, behind a coordinator, the worker
+        # scrape) happens off the event loop: shard_obs_sections does
+        # cross-process round trips.  No admission slot — the scrape
+        # must answer exactly when the gate is saturated.
+        text = await self._run_blocking(
+            lambda: obs_registry().render(
+                extra_families=metrics_families(
+                    self.server, http_section, gate_stats, tracer_stats
+                )
+            ),
+            self.request_timeout,
+        )
+        body = text.encode("utf-8")
+        log.status = 200
+        await send(
+            {
+                "type": "http.response.start",
+                "status": 200,
+                "headers": _PROMETHEUS_CONTENT
+                + [(b"content-length", str(len(body)).encode())]
+                + self._trace_headers(log),
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+    async def _handle_trace(self, scope, receive, send, log: RequestLog) -> None:
+        trace_id = scope["path"][len("/trace/") :]
+        tree = obs_tracer().trace_tree(trace_id)
+        if tree is None:
+            raise _HttpError(404, "not_found", f"no such trace: {trace_id}")
+        await self._send_json(send, tree, log)
+
+    async def _handle_traces_recent(self, scope, receive, send, log: RequestLog) -> None:
+        tracer = obs_tracer()
+        await self._send_json(
+            send,
+            {"traces": tracer.recent(), "tracer": tracer.stats()},
+            log,
+        )
 
     async def _handle_query(self, scope, receive, send, log: RequestLog) -> None:
         body = await self._read_body(receive)
@@ -399,6 +497,7 @@ class TopologyHttpApp:
             except TopologyError as error:
                 raise self._query_error(error) from None
         wire = result_to_wire(result)
+        wire["trace_id"] = log.trace_id
         log.generation = result.generation
         if wire["scores"] is None and len(wire["tids"]) > self.stream_chunk_rows:
             await self._stream_query_response(send, wire, log)
@@ -419,7 +518,8 @@ class TopologyHttpApp:
             {
                 "type": "http.response.start",
                 "status": 200,
-                "headers": _JSON_CONTENT,  # no content-length: chunked
+                # no content-length: chunked
+                "headers": _JSON_CONTENT + self._trace_headers(log),
             }
         )
         await send({"type": "http.response.body", "body": prefix, "more_body": True})
@@ -467,7 +567,7 @@ class TopologyHttpApp:
                 {
                     "type": "http.response.start",
                     "status": 200,
-                    "headers": _NDJSON_CONTENT,
+                    "headers": _NDJSON_CONTENT + self._trace_headers(log),
                 }
             )
             count = 0

@@ -1,11 +1,18 @@
 """Structured per-request logging for the HTTP layer.
 
 One JSON line per completed request on the ``repro.http`` logger:
-request id, verb, path, status, error code (when the response was an
+trace id, verb, path, status, error code (when the response was an
 error body), wall-clock latency, the serving generation that answered,
 and how long admission queued the request.  The line is machine-first —
 the benchmark and operators grep/parse it — so the record is rendered
 as compact JSON, not prose.
+
+Requests are identified by their **trace id** (the same id the span
+buffer, the ``x-trace-id`` response header, and slow-query records
+carry), not a per-process counter: monotonic ids collide across the
+coordinator and shard-worker processes and reset on every restart,
+while a trace id joins one request's records across every process that
+touched it.
 
 The logger propagates like any stdlib logger: tests capture it with a
 handler, deployments route it wherever their logging config says.
@@ -16,7 +23,6 @@ from __future__ import annotations
 
 import json
 import logging
-import threading
 import time
 from typing import Any, Dict, Optional
 
@@ -29,7 +35,7 @@ class RequestLog:
     """Mutable record for one in-flight request; emitted on finish."""
 
     __slots__ = (
-        "request_id",
+        "trace_id",
         "verb",
         "path",
         "status",
@@ -40,8 +46,8 @@ class RequestLog:
         "_start",
     )
 
-    def __init__(self, request_id: int, verb: str, path: str) -> None:
-        self.request_id = request_id
+    def __init__(self, trace_id: Optional[str], verb: str, path: str) -> None:
+        self.trace_id = trace_id
         self.verb = verb
         self.path = path
         self.status: Optional[int] = None
@@ -53,7 +59,7 @@ class RequestLog:
 
     def to_record(self) -> Dict[str, Any]:
         return {
-            "request_id": self.request_id,
+            "trace_id": self.trace_id,
             "verb": self.verb,
             "path": self.path,
             "status": self.status,
@@ -66,19 +72,15 @@ class RequestLog:
 
 
 class RequestLogger:
-    """Allocates monotonically increasing request ids and emits the
-    one-line-per-request JSON records."""
+    """Emits the one-line-per-request JSON records."""
 
     def __init__(self, logger: Optional[logging.Logger] = None) -> None:
         self._logger = logger or logging.getLogger(LOGGER_NAME)
-        self._lock = threading.Lock()
-        self._next_id = 0
 
-    def start(self, verb: str, path: str) -> RequestLog:
-        with self._lock:
-            self._next_id += 1
-            request_id = self._next_id
-        return RequestLog(request_id, verb, path)
+    def start(
+        self, verb: str, path: str, trace_id: Optional[str] = None
+    ) -> RequestLog:
+        return RequestLog(trace_id, verb, path)
 
     def finish(self, log: RequestLog) -> None:
         if self._logger.isEnabledFor(logging.INFO):

@@ -34,6 +34,9 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.methods import MethodResult
 from repro.core.query import TopologyQuery
 from repro.errors import ReproError, ShardUnavailableError, TopologyError
+from repro.obs import current_wire as obs_current_wire
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 
 # Per-process replica installed by the pool initializer.  Module-level
 # globals: multiprocessing gives every worker its own module instance.
@@ -52,20 +55,32 @@ def _init_replica(snapshot_path: str, generation: Optional[int] = None) -> None:
 
     _REPLICA = load_system(snapshot_path)
     _REPLICA_GENERATION = generation
+    # Forked workers inherit the parent's span buffer; drop it so a
+    # worker only ever ships spans it recorded itself.
+    obs_tracer().reset()
 
 
 def _run_chunk(
-    chunk: Tuple[str, Sequence[Tuple[int, TopologyQuery]]]
-) -> Tuple[Optional[int], List[Tuple[int, MethodResult]]]:
-    """Execute one (method, [(batch index, query), ...]) chunk against
-    this worker's replica, preserving the indices for reassembly.  The
-    reply leads with the worker's attested generation."""
+    chunk: Tuple[str, Sequence[Tuple[int, TopologyQuery]], Optional[dict]]
+) -> Tuple[Optional[int], List[Tuple[int, MethodResult]], List[dict]]:
+    """Execute one (method, [(batch index, query), ...], trace wire)
+    chunk against this worker's replica, preserving the indices for
+    reassembly.  The reply leads with the worker's attested generation
+    and trails with the spans recorded here (the parent ingests them
+    into its own trace buffer — the trace crosses the process boundary
+    through the reply, not through shared memory)."""
     if _REPLICA is None:  # pragma: no cover - initializer always ran
         raise TopologyError("replica worker used before initialization")
-    method, items = chunk
-    return _REPLICA_GENERATION, [
-        (index, _REPLICA.search(query, method=method)) for index, query in items
-    ]
+    method, items, trace = chunk
+    tracer = obs_tracer()
+    with tracer.adopt(trace) as ctx:
+        with obs_span("replica.chunk", method=method, items=len(items), pid=os.getpid()):
+            results = [
+                (index, _REPLICA.search(query, method=method))
+                for index, query in items
+            ]
+    spans = tracer.take(ctx.trace_id) if ctx is not None else []
+    return _REPLICA_GENERATION, results, spans
 
 
 def _spawn_safe_main() -> bool:
@@ -163,10 +178,13 @@ class ReplicaPool:
         rather than letting wrong-generation answers merge silently."""
         if self._pool is None:
             raise TopologyError("replica pool is closed")
+        trace = obs_current_wire()
+        tracer = obs_tracer()
         out: List[List[Tuple[int, MethodResult]]] = []
-        for reply_generation, items in self._pool.imap_unordered(
-            _run_chunk, chunks
+        for reply_generation, items, spans in self._pool.imap_unordered(
+            _run_chunk, [(method, items, trace) for method, items in chunks]
         ):
+            tracer.ingest(spans)
             if reply_generation != self.generation:
                 raise TopologyError(
                     f"replica reply attested generation {reply_generation}, "
@@ -211,34 +229,80 @@ def _init_shard(snapshot_path: str, shard_index: int, generation: int) -> None:
 
     _REPLICA = load_system(snapshot_path)
     _SHARD_STAMP = (shard_index, generation)
+    # See _init_replica: never ship spans inherited across a fork.
+    obs_tracer().reset()
 
 
-def _shard_op(request: Tuple[str, Any]) -> Tuple[Optional[Tuple[int, int]], Any]:
-    """Execute one coordinator op against this worker's shard engine."""
-    op, args = request
-    if _REPLICA is None:  # pragma: no cover - initializer always ran
-        raise TopologyError("shard worker used before initialization")
+def _shard_obs_stats() -> dict:
+    """This worker's per-shard observability section, scraped by the
+    coordinator's `/metrics` merge."""
+    system = _REPLICA
+    plan_cache = system.plan_cache_stats()
+    return {
+        "pid": os.getpid(),
+        "generation": _SHARD_STAMP[1] if _SHARD_STAMP else None,
+        "plan_cache": {
+            "hits": plan_cache.hits,
+            "misses": plan_cache.misses,
+            "invalidations": plan_cache.invalidations,
+            "size": plan_cache.size,
+        },
+        "calibrator": system.calibrator.snapshot(),
+    }
+
+
+def _run_shard_op(op: str, args: Any) -> Any:
     if op == "query_batch":
         method, items = args
-        payload: Any = [
+        return [
             (index, _REPLICA.search(query, method=method))
             for index, query in items
         ]
-    elif op == "explain":
+    if op == "explain":
         query, method = args
-        payload = _REPLICA.explain(query, method)
-    elif op == "digest":
-        payload = _REPLICA.store.state_digest()
-    elif op == "ping":
-        payload = "pong"
-    elif op == "sleep":
+        return _REPLICA.explain(query, method)
+    if op == "digest":
+        return _REPLICA.store.state_digest()
+    if op == "ping":
+        return "pong"
+    if op == "obs_stats":
+        return _shard_obs_stats()
+    if op == "sleep":
         # Latency probe: lets operators (and the timeout tests) exercise
         # the coordinator's per-shard reply-deadline path on demand.
         time.sleep(float(args))
-        payload = float(args)
-    else:
-        raise TopologyError(f"unknown shard op {op!r}")
-    return _SHARD_STAMP, payload
+        return float(args)
+    raise TopologyError(f"unknown shard op {op!r}")
+
+
+def _shard_op(
+    request: Tuple[str, Any, Optional[dict]]
+) -> Tuple[Optional[Tuple[int, int]], Any, List[dict]]:
+    """Execute one coordinator op against this worker's shard engine.
+
+    ``request`` carries the coordinator's trace context (or ``None``);
+    the reply trails with the spans this worker recorded under it, so
+    the coordinator can stitch per-shard ``shard.query`` spans — and
+    their engine children — into the request's trace."""
+    op, args, trace = request
+    if _REPLICA is None:  # pragma: no cover - initializer always ran
+        raise TopologyError("shard worker used before initialization")
+    shard_index = _SHARD_STAMP[0] if _SHARD_STAMP else None
+    tracer = obs_tracer()
+    with tracer.adopt(trace) as ctx:
+        if op == "query_batch":
+            with obs_span(
+                "shard.query",
+                shard=shard_index,
+                pid=os.getpid(),
+                method=args[0],
+                items=len(args[1]),
+            ):
+                payload = _run_shard_op(op, args)
+        else:
+            payload = _run_shard_op(op, args)
+    spans = tracer.take(ctx.trace_id) if ctx is not None else []
+    return _SHARD_STAMP, payload, spans
 
 
 class ShardCall:
@@ -266,7 +330,7 @@ class ShardCall:
         themselves: the shard is healthy, the request was not."""
         backend = self._backend
         try:
-            stamp, payload = self._async_result.get(self._timeout)
+            stamp, payload, spans = self._async_result.get(self._timeout)
         except multiprocessing.TimeoutError:
             raise ShardUnavailableError(
                 backend.shard_index,
@@ -281,6 +345,7 @@ class ShardCall:
                 f"worker failed: {type(exc).__name__}: {exc}",
                 retry_after=backend.retry_after,
             ) from exc
+        obs_tracer().ingest(spans)
         expected = (backend.shard_index, backend.generation)
         if stamp != expected:
             raise TopologyError(
@@ -331,8 +396,9 @@ class ShardBackend:
                 self.shard_index, "backend is closed", retry_after=self.retry_after
             )
         budget = self.timeout if timeout is None else timeout
+        request = (op, args, obs_current_wire())
         return ShardCall(
-            self, self._pool.apply_async(_shard_op, ((op, args),)), budget
+            self, self._pool.apply_async(_shard_op, (request,)), budget
         )
 
     def call(self, op: str, args: Any = None, timeout: Optional[float] = None) -> Any:

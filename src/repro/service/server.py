@@ -60,6 +60,9 @@ from repro.core.methods import MethodResult
 from repro.core.plan import PlanCacheStats, QueryPlan
 from repro.core.query import TopologyQuery
 from repro.errors import TopologyError
+from repro.obs import SlowQueryLog, current_trace, query_summary
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.service.cache import MISSING, CacheStats, LRUCache
 from repro.service.facade import (
     DEFAULT_METHOD,
@@ -201,6 +204,7 @@ class TopologyServer:
         cache_size: int = 4096,
         default_method: str = DEFAULT_METHOD,
         max_workers: Optional[int] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         if system.store is None:
             raise TopologyError(
@@ -236,6 +240,10 @@ class TopologyServer:
         # would just fight over the same cores anyway).
         self._replica_mutex = threading.Lock()
         self._closed = False
+        # Over-threshold queries emit one structured record each (see
+        # repro.obs.slowlog); threshold from REPRO_SLOW_QUERY_SECONDS
+        # unless given explicitly.
+        self.slow_query_log = SlowQueryLog(slow_query_seconds, source="server")
         self._requests = 0
         self._executions = 0
         self._coalesced = 0
@@ -310,8 +318,9 @@ class TopologyServer:
         lease, so the answer is always consistent with exactly one
         generation — stamped on ``result.generation``."""
         name = (method or self.default_method).lower()
-        with self._rw.read_locked():
-            return self._query_locked(name, query)
+        with obs_span("server.query", ingress=True, method=name):
+            with self._rw.read_locked():
+                return self._query_locked(name, query)
 
     def _query_locked(self, name: str, query: TopologyQuery) -> MethodResult:
         """The body of :meth:`query`; caller holds a read lease."""
@@ -357,11 +366,37 @@ class TopologyServer:
             raise
         result.generation = generation
         self._record_latency(name, result.elapsed_seconds)
+        if result.elapsed_seconds >= self.slow_query_log.threshold_seconds:
+            self._slow_query(system, generation, name, query, result)
         with self._flight_lock:
             self._cache.put(key, result)
             self._flights.pop(key, None)
         flight.resolve(result)
         return result
+
+    def _slow_query(
+        self,
+        system: TopologySearchSystem,
+        generation: int,
+        name: str,
+        query: TopologyQuery,
+        result: MethodResult,
+    ) -> None:
+        """Emit one structured slow-query record (threshold already met).
+        The per-span breakdown covers the spans finished so far — the
+        engine's plan/execute children of the still-open request span."""
+        ctx = current_trace()
+        spans = obs_tracer().trace_spans(ctx.trace_id) if ctx is not None else []
+        self.slow_query_log.maybe_record(
+            elapsed_seconds=result.elapsed_seconds,
+            method=name,
+            query=query_summary(query),
+            generation=generation,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            plan={"choice": result.plan_choice},
+            calibrator_version=system.calibrator.version,
+            spans=spans,
+        )
 
     def _record_latency(self, name: str, seconds: float) -> None:
         with self._latency_lock:

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ShardError
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.parallel.partition import histogram_skew, stable_partition
 from repro.shard.manifest import write_manifest
 
@@ -108,6 +110,7 @@ class ShardSplitReport:
     replicated_excptops: int
     file_bytes: List[int] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def row_histogram(self) -> Tuple[int, ...]:
@@ -139,6 +142,7 @@ class ShardSplitReport:
             "replicated_excptops": self.replicated_excptops,
             "file_bytes": list(self.file_bytes),
             "elapsed_seconds": self.elapsed_seconds,
+            "spans": list(self.spans),
         }
 
 
@@ -195,55 +199,66 @@ def split_system(
     directory = os.fspath(directory)
     os.makedirs(directory, exist_ok=True)
 
-    reference_state = system.store.export_state()
-    set_id = shard_set_id(system.store.state_digest(), num_shards)
-    shard_states = split_state(reference_state, num_shards)
-    calibration = system.calibrator.export_state()
+    with obs_span(
+        "shard.split", ingress=True, num_shards=num_shards, scheme=SHARD_SCHEME
+    ) as split_span:
+        with obs_span("split.state"):
+            reference_state = system.store.export_state()
+            set_id = shard_set_id(system.store.state_digest(), num_shards)
+            shard_states = split_state(reference_state, num_shards)
+            calibration = system.calibrator.export_state()
 
-    paths: List[str] = []
-    file_bytes: List[int] = []
-    for index, state in enumerate(shard_states):
-        path = os.path.join(
-            directory, f"{stem}-{index}-of-{num_shards}.topo"
-        )
-        clone = system.clone_base()
-        clone.adopt_store(
-            TopologyStore.from_state(state, system.weak_rules),
-            max_length=system.max_length,
-            built_pairs=system.built_pairs,
-            include_alltops=True,
-            validate=False,
-            build_config=system.build_config,
-        )
-        clone.restore_calibration(calibration)
-        save_system(
-            clone,
-            path,
-            shard={
-                "index": index,
-                "count": num_shards,
-                "scheme": SHARD_SCHEME,
-                "set_id": set_id,
-            },
-        )
-        del clone  # bound peak memory to one clone at a time
-        paths.append(path)
-        file_bytes.append(os.path.getsize(path))
+        paths: List[str] = []
+        file_bytes: List[int] = []
+        with obs_span("split.save"):
+            for index, state in enumerate(shard_states):
+                path = os.path.join(
+                    directory, f"{stem}-{index}-of-{num_shards}.topo"
+                )
+                clone = system.clone_base()
+                clone.adopt_store(
+                    TopologyStore.from_state(state, system.weak_rules),
+                    max_length=system.max_length,
+                    built_pairs=system.built_pairs,
+                    include_alltops=True,
+                    validate=False,
+                    build_config=system.build_config,
+                )
+                clone.restore_calibration(calibration)
+                save_system(
+                    clone,
+                    path,
+                    shard={
+                        "index": index,
+                        "count": num_shards,
+                        "scheme": SHARD_SCHEME,
+                        "set_id": set_id,
+                    },
+                )
+                del clone  # bound peak memory to one clone at a time
+                paths.append(path)
+                file_bytes.append(os.path.getsize(path))
 
-    manifest = write_manifest(
-        os.path.join(directory, f"{stem}.manifest.json"),
-        set_id=set_id,
-        scheme=SHARD_SCHEME,
-        shard_paths=paths,
-    )
+            manifest = write_manifest(
+                os.path.join(directory, f"{stem}.manifest.json"),
+                set_id=set_id,
+                scheme=SHARD_SCHEME,
+                shard_paths=paths,
+            )
 
-    if verify:
-        from repro.shard.verify import verify_split
+        if verify:
+            from repro.shard.verify import verify_split
 
-        verify_split(
-            reference_state, [read_store_state(p) for p in paths]
-        )
+            with obs_span("split.verify"):
+                verify_split(
+                    reference_state, [read_store_state(p) for p in paths]
+                )
 
+    split_spans: List[Dict[str, Any]] = []
+    if split_span.trace_id is not None:
+        split_spans = [
+            s.to_wire() for s in obs_tracer().trace_spans(split_span.trace_id)
+        ]
     report = ShardSplitReport(
         num_shards=num_shards,
         scheme=SHARD_SCHEME,
@@ -261,6 +276,7 @@ def split_system(
         replicated_excptops=len(reference_state["excptops_rows"]),
         file_bytes=file_bytes,
         elapsed_seconds=time.perf_counter() - start,
+        spans=split_spans,
     )
     _warn_on_skew(report)
     return report

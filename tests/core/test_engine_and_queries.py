@@ -102,6 +102,25 @@ class TestSystemFacade:
         assert report.elapsed_seconds > 0
         assert report.pruning is not None
 
+    def test_build_report_carries_phase_spans(self, fig3_system):
+        """The offline build traces itself: the report ships the span
+        tree (engine.build root, one child per phase) so build timing is
+        inspectable without a live tracer."""
+        spans = fig3_system.build_report.spans
+        by_name = {s["name"]: s for s in spans}
+        assert {
+            "engine.build",
+            "build.compute_alltops",
+            "build.prune",
+            "build.materialize",
+        } <= set(by_name)
+        root = by_name["engine.build"]
+        assert root["parent_id"] is None
+        for phase in ("build.compute_alltops", "build.prune", "build.materialize"):
+            assert by_name[phase]["parent_id"] == root["span_id"]
+            assert by_name[phase]["trace_id"] == root["trace_id"]
+            assert by_name[phase]["elapsed_seconds"] >= 0
+
     def test_orientation(self, fig3_system):
         fwd = TopologyQuery("Protein", "DNA", NoConstraint(), NoConstraint())
         rev = TopologyQuery("DNA", "Protein", NoConstraint(), NoConstraint())

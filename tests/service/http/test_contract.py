@@ -94,12 +94,16 @@ class TestQuery:
             "elapsed_seconds",
             "planning_seconds",
             "plan_choice",
+            "trace_id",
         }
         assert payload["method"] == "fast-top-k-opt"
         assert payload["generation"] == 1
         assert payload["tids"] == list(expected.tids)
         assert payload["count"] == len(expected.tids)
         assert payload["scores"] == pytest.approx(expected.scores)
+        # The body's trace id and the response header name the same
+        # trace — the one GET /trace/{id} serves.
+        assert payload["trace_id"] == response.headers["x-trace-id"]
 
     def test_minimal_body_uses_defaults(self, client, server):
         # Only the entity pair plus an exhaustive method: no
@@ -134,8 +138,12 @@ class TestQuery:
         first = client.post("/query", json=valid_query())
         second = client.post("/query", json=valid_query())
         assert first.status == second.status == 200
-        # Byte-identical: the cached MethodResult is the same object.
-        assert first.body == second.body
+        # Identical result payload: the cached MethodResult is the same
+        # object.  Only the trace id differs — every request is its own
+        # trace, cache hit or not.
+        first_payload, second_payload = first.json(), second.json()
+        assert first_payload.pop("trace_id") != second_payload.pop("trace_id")
+        assert first_payload == second_payload
         stats = server.stats()
         assert stats.result_cache.hits >= 1
         assert stats.executions == 1
@@ -587,4 +595,8 @@ class TestQueryStreaming:
             with TestClient(big_app) as big_client:
                 plain = big_client.post("/query", json=self.EXHAUSTIVE)
         assert len(streamed.chunks) > 1 and len(plain.chunks) == 1
-        assert streamed.json() == plain.json()
+        streamed_payload, plain_payload = streamed.json(), plain.json()
+        # Distinct requests carry distinct trace ids; everything else
+        # must agree byte-for-byte between the two code paths.
+        assert streamed_payload.pop("trace_id") != plain_payload.pop("trace_id")
+        assert streamed_payload == plain_payload

@@ -209,9 +209,29 @@ class TestSnapshotConsistency:
             "p50_seconds",
             "p95_seconds",
             "p99_seconds",
+            "buckets",
         } == set(snap)
         assert snap["count"] == 0
         assert snap["min_seconds"] == 0.0  # not math.inf on the wire
+
+    def test_buckets_are_count_preserving(self):
+        """Bucket counts cover every sample ever recorded — they sum to
+        ``count`` even past the percentile window — and use the shared
+        LATENCY_BUCKETS bounds so `/metrics` histograms line up with
+        `/stats`."""
+        from repro.obs import LATENCY_BUCKETS
+        from repro.service.facade import LATENCY_SAMPLE_WINDOW
+
+        stats = LatencyStats("m")
+        for n in range(LATENCY_SAMPLE_WINDOW + 100):  # overflow the window
+            stats.record(0.0001 if n % 2 else 20.0)  # first and +Inf buckets
+        snap = stats.snapshot()
+        buckets = snap["buckets"]
+        assert buckets["le"] == list(LATENCY_BUCKETS)
+        assert len(buckets["counts"]) == len(LATENCY_BUCKETS) + 1
+        assert sum(buckets["counts"]) == snap["count"] == LATENCY_SAMPLE_WINDOW + 100
+        assert buckets["counts"][0] == (LATENCY_SAMPLE_WINDOW + 100) // 2
+        assert buckets["counts"][-1] == (LATENCY_SAMPLE_WINDOW + 100 + 1) // 2
 
     def test_every_snapshot_is_internally_consistent_under_races(self):
         """Writers hammer record() while readers take snapshots; every
