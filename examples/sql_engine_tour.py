@@ -14,6 +14,7 @@ from repro.biozon import BiozonConfig, generate
 from repro.core import KeywordConstraint, NoConstraint, TopologyQuery, TopologySearchSystem
 from repro.relational.expressions import ColumnRef, Comparison, Literal
 from repro.relational.operators import FirstPerGroup, GroupFilter, IDGJ, OrderedIndexScan
+from repro.relational.sql import sql_quote
 
 
 def main() -> None:
@@ -37,7 +38,7 @@ def main() -> None:
     for keyword, label in (("kinase", "selective ~15%"), ("human", "unselective ~85%")):
         sql = (
             f"SELECT P.ID FROM Protein P, Encodes E "
-            f"WHERE CONTAINS(P.DESC, '{keyword}') AND P.ID = E.PID"
+            f"WHERE CONTAINS(P.DESC, {sql_quote(keyword)}) AND P.ID = E.PID"
         )
         print(f"-- protein predicate {label}")
         print(engine.explain(sql))

@@ -221,7 +221,9 @@ class MetricsRegistry:
 
     # -- registration ------------------------------------------------
 
-    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+    def _get_or_create(
+        self, cls: type, name: str, help_text: str, **kwargs: Any
+    ) -> _Metric:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -285,7 +287,9 @@ class MetricsRegistry:
             for name, (kind, help_text, samples) in sorted(families.items())
         ]
 
-    def render(self, extra_families=None) -> str:
+    def render(
+        self, extra_families: Optional[Iterable[Tuple[str, str, str, Any]]] = None
+    ) -> str:
         """Prometheus text exposition (format version 0.0.4)."""
         lines: List[str] = []
         families = self.gather()

@@ -26,8 +26,8 @@ import random
 import threading
 import time
 from collections import OrderedDict, deque
-from contextvars import ContextVar
-from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from contextvars import ContextVar, Token
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 __all__ = [
     "NOOP_SPAN",
@@ -178,12 +178,16 @@ class _SpanCM:
         self._ingress = ingress
         self._tags = tags
         self._ctx: Optional[TraceContext] = None
-        self._token = None
+        self._token: Optional[Token[Optional[TraceContext]]] = None
 
     def tag(self, **tags: Any) -> None:
         self._tags.update(tags)
 
-    def __enter__(self, _time=time.time, _perf=time.perf_counter):
+    def __enter__(
+        self,
+        _time: Callable[[], float] = time.time,
+        _perf: Callable[[], float] = time.perf_counter,
+    ) -> Union["_SpanCM", _NoopSpan]:
         tracer = self._tracer
         if not tracer.enabled:
             return NOOP_SPAN
@@ -204,7 +208,13 @@ class _SpanCM:
         self._t0 = _perf()
         return self
 
-    def __exit__(self, exc_type, exc, tb, _perf=time.perf_counter) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+        _perf: Callable[[], float] = time.perf_counter,
+    ) -> None:
         ctx = self._ctx
         if ctx is None:
             return
@@ -220,7 +230,7 @@ class _SpanCM:
                 self._start,
                 elapsed,
                 self._tags,
-                None if exc is None else f"{exc_type.__name__}: {exc}",
+                None if exc is None else f"{type(exc).__name__}: {exc}",
             )
         )
 
@@ -233,14 +243,19 @@ class _AdoptCM:
     def __init__(self, tracer: "Tracer", ctx: Optional[TraceContext]) -> None:
         self._tracer = tracer
         self._ctx = ctx
-        self._token = None
+        self._token: Optional[Token[Optional[TraceContext]]] = None
 
     def __enter__(self) -> Optional[TraceContext]:
         if self._ctx is not None:
             self._token = self._tracer._var.set(self._ctx)
         return self._ctx
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         if self._token is not None:
             self._tracer._var.reset(self._token)
 

@@ -601,6 +601,7 @@ class Engine:
                     return entry[1]
         prepared = self.planner.prepare(parse(sql, params))
         if key is not None:
+            # relint: disable=R2 (get-or-compute: each return reads under a single acquisition, the pair never assembles one value)
             with self._plan_cache_lock:
                 self.plan_cache_misses += 1
                 self._plan_cache[key] = (token, prepared)

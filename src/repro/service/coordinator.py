@@ -55,7 +55,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.methods import METHOD_CLASSES, MethodResult
 from repro.core.plan import PlanCacheStats, QueryPlan
@@ -75,6 +75,9 @@ from repro.service.replica import ShardBackend
 from repro.service.server import ReadWriteLock, _Flight
 from repro.shard.build import SKEW_WARNING_THRESHOLD
 from repro.shard.manifest import ShardManifest, read_manifest
+
+if TYPE_CHECKING:  # imported lazily at runtime inside rebuild()
+    from repro.core.engine import BuildReport
 
 __all__ = ["CoordinatorStats", "ScatterPlan", "ShardCoordinator"]
 
@@ -135,7 +138,7 @@ class ShardCoordinator:
 
     def __init__(
         self,
-        manifest,
+        manifest: Union[str, ShardManifest],
         cache_size: int = 4096,
         default_method: str = DEFAULT_METHOD,
         shard_timeout: float = 30.0,
@@ -234,7 +237,7 @@ class ShardCoordinator:
     def __enter__(self) -> "ShardCoordinator":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     @property
@@ -307,6 +310,7 @@ class ShardCoordinator:
             )
             result = merged[0]
         except BaseException as error:
+            # relint: disable=R2 (single-flight protocol: register, execute unlocked, then settle — the result comes from the scatter, not from lock-spanning reads)
             with self._flight_lock:
                 self._failures += 1
                 self._flights.pop(key, None)
@@ -367,6 +371,7 @@ class ShardCoordinator:
                         backends, generation, name, items
                     )
                 except BaseException:
+                    # relint: disable=R2 (single-flight protocol: the admit/settle critical sections bracket an unlocked scatter; results are per-slot, not a composite read)
                     with self._flight_lock:
                         self._failures += len(slots)
                     raise
@@ -546,8 +551,8 @@ class ShardCoordinator:
     def rebuild(
         self,
         entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
-        **build_kwargs,
-    ):
+        **build_kwargs: Any,
+    ) -> "BuildReport":
         """Rebuild the whole store and commit a new shard generation,
         without interrupting traffic.
 
@@ -751,7 +756,9 @@ class ShardCoordinator:
                 try:
                     section.update(call.result())
                     section["up"] = True
-                except Exception:
-                    pass
+                except Exception as exc:
+                    # Degrade, but never silently: a stamp mismatch or a
+                    # worker crash must be visible in the scrape itself.
+                    section["error"] = f"{type(exc).__name__}: {exc}"
             sections.append(section)
         return sections

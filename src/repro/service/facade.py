@@ -214,7 +214,7 @@ class TopologyService:
     @classmethod
     def from_snapshot(
         cls,
-        path,
+        path: str,
         cache_size: int = 1024,
         default_method: str = DEFAULT_METHOD,
     ) -> "TopologyService":
@@ -225,7 +225,7 @@ class TopologyService:
             default_method=default_method,
         )
 
-    def save(self, path) -> None:
+    def save(self, path: str) -> None:
         """Snapshot the underlying system (see :mod:`repro.persist`)."""
         self.system.save(path)
 
@@ -276,7 +276,7 @@ class TopologyService:
     def rebuild(
         self,
         entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
-        **build_kwargs,
+        **build_kwargs: Any,
     ) -> BuildReport:
         """Re-run the offline phase in place and invalidate the cache.
 

@@ -155,7 +155,7 @@ class AdmissionGate:
         await self.acquire()
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: Any) -> None:
         self.release()
 
     # ------------------------------------------------------------------

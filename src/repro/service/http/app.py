@@ -63,7 +63,7 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ShardUnavailableError, TopologyError
 from repro.obs import registry as obs_registry
@@ -83,6 +83,12 @@ from repro.service.http.schemas import (
 )
 
 __all__ = ["TopologyHttpApp", "create_app"]
+
+# ASGI-protocol shapes (the framework-free equivalents of asgiref's
+# Scope/Receive/Send).
+Scope = Dict[str, Any]
+Receive = Callable[[], Awaitable[Dict[str, Any]]]
+Send = Callable[[Dict[str, Any]], Awaitable[None]]
 
 _JSON_CONTENT = [(b"content-type", b"application/json")]
 _NDJSON_CONTENT = [(b"content-type", b"application/x-ndjson")]
@@ -145,7 +151,7 @@ class TopologyHttpApp:
 
     def __init__(
         self,
-        server,
+        server: Any,
         max_concurrency: int = 8,
         max_queue: int = 32,
         queue_timeout: float = 5.0,
@@ -189,13 +195,13 @@ class TopologyHttpApp:
     def __enter__(self) -> "TopologyHttpApp":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # ASGI entry point
     # ------------------------------------------------------------------
-    async def __call__(self, scope, receive, send) -> None:
+    async def __call__(self, scope: Scope, receive: Receive, send: Send) -> None:
         if scope["type"] == "lifespan":
             await self._handle_lifespan(receive, send)
             return
@@ -242,7 +248,7 @@ class TopologyHttpApp:
                     )
                 self.log.finish(log)
 
-    async def _handle_lifespan(self, receive, send) -> None:
+    async def _handle_lifespan(self, receive: Receive, send: Send) -> None:
         while True:
             message = await receive()
             if message["type"] == "lifespan.startup":
@@ -251,7 +257,7 @@ class TopologyHttpApp:
                 await send({"type": "lifespan.shutdown.complete"})
                 return
 
-    def _resolve(self, verb: str, path: str):
+    def _resolve(self, verb: str, path: str) -> Callable[..., Awaitable[None]]:
         route = self._routes.get(path)
         if route is None and path.startswith("/trace/") and len(path) > len("/trace/"):
             # The one parameterized route: /trace/{id}.  The id is
@@ -272,7 +278,7 @@ class TopologyHttpApp:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    async def _read_body(self, receive) -> bytes:
+    async def _read_body(self, receive: Receive) -> bytes:
         chunks: List[bytes] = []
         size = 0
         while True:
@@ -301,7 +307,7 @@ class TopologyHttpApp:
         except ValueError as error:
             raise _HttpError(400, "invalid_json", f"body is not valid JSON: {error}") from None
 
-    async def _run_blocking(self, fn, timeout: float):
+    async def _run_blocking(self, fn: Callable[[], Any], timeout: float) -> Any:
         """Run ``fn`` on the worker pool, bounded by ``timeout``.
 
         On timeout the engine call keeps running on its pool thread —
@@ -330,13 +336,13 @@ class TopologyHttpApp:
             ) from None
 
     @staticmethod
-    def _trace_headers(log: RequestLog) -> List:
+    def _trace_headers(log: RequestLog) -> List[Tuple[bytes, bytes]]:
         if log.trace_id is None:
             return []
         return [(b"x-trace-id", log.trace_id.encode("ascii"))]
 
     async def _send_json(
-        self, send, payload: Any, log: RequestLog, status: int = 200
+        self, send: Send, payload: Any, log: RequestLog, status: int = 200
     ) -> None:
         body = _dumps(payload)
         log.status = status
@@ -351,7 +357,7 @@ class TopologyHttpApp:
         )
         await send({"type": "http.response.body", "body": body})
 
-    async def _send_error(self, send, error: _HttpError, log: RequestLog) -> None:
+    async def _send_error(self, send: Send, error: _HttpError, log: RequestLog) -> None:
         if log.status is not None:
             # The response already started (mid-stream failure): the
             # stream protocol has its own in-band error line; nothing
@@ -402,12 +408,16 @@ class TopologyHttpApp:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    async def _handle_healthz(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_healthz(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         generation = self.server.generation
         log.generation = generation
         await self._send_json(send, {"status": "ok", "generation": generation}, log)
 
-    async def _handle_stats(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_stats(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         # ONE ServerStats snapshot feeds every counter in the payload;
         # a second read of the live server mid-traffic could break the
         # hits+misses==requests invariant the stress suite asserts.
@@ -434,7 +444,9 @@ class TopologyHttpApp:
         log.generation = stats.generation
         await self._send_json(send, payload, log)
 
-    async def _handle_metrics(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_metrics(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         with self._stats_lock:
             http_section = {
                 "requests_total": self._requests_total,
@@ -467,14 +479,18 @@ class TopologyHttpApp:
         )
         await send({"type": "http.response.body", "body": body})
 
-    async def _handle_trace(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_trace(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         trace_id = scope["path"][len("/trace/") :]
         tree = obs_tracer().trace_tree(trace_id)
         if tree is None:
             raise _HttpError(404, "not_found", f"no such trace: {trace_id}")
         await self._send_json(send, tree, log)
 
-    async def _handle_traces_recent(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_traces_recent(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         tracer = obs_tracer()
         await self._send_json(
             send,
@@ -482,7 +498,9 @@ class TopologyHttpApp:
             log,
         )
 
-    async def _handle_query(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_query(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         body = await self._read_body(receive)
         try:
             query, method = parse_query_request(self._parse_json(body))
@@ -504,7 +522,9 @@ class TopologyHttpApp:
         else:
             await self._send_json(send, wire, log)
 
-    async def _stream_query_response(self, send, wire: Dict[str, Any], log: RequestLog) -> None:
+    async def _stream_query_response(
+        self, send: Send, wire: Dict[str, Any], log: RequestLog
+    ) -> None:
         """Large tid lists go out in chunks: the first frame carries the
         scalar fields and opens the ``tids`` array, each following frame
         is one chunk of tids, the last frame closes the JSON.  The
@@ -539,7 +559,9 @@ class TopologyHttpApp:
             log.streamed_chunks += 1
         await send({"type": "http.response.body", "body": b"]}"})
 
-    async def _handle_query_many(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_query_many(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         body = await self._read_body(receive)
         try:
             queries, method, parallel, mode = parse_query_many_request(
@@ -631,7 +653,9 @@ class TopologyHttpApp:
                 }
             )
 
-    async def _handle_explain(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_explain(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         body = await self._read_body(receive)
         try:
             query, method = parse_query_request(self._parse_json(body))
@@ -651,7 +675,9 @@ class TopologyHttpApp:
         wire["generation"] = generation
         await self._send_json(send, wire, log)
 
-    async def _handle_rebuild(self, scope, receive, send, log: RequestLog) -> None:
+    async def _handle_rebuild(
+        self, scope: Scope, receive: Receive, send: Send, log: RequestLog
+    ) -> None:
         body = await self._read_body(receive)
         try:
             kwargs = parse_rebuild_request(self._parse_json(body, required=False))
@@ -687,23 +713,31 @@ class TopologyHttpApp:
         )
 
     # ------------------------------------------------------------------
-    def _admitted(self, log: RequestLog):
+    def _admitted(self, log: RequestLog) -> "_Admission":
         """Admission context that records queue wait into the log."""
-        gate = self.gate
-
-        class _Admission:
-            async def __aenter__(self):
-                start = time.perf_counter()
-                await gate.acquire()
-                log.queue_seconds = time.perf_counter() - start
-                return self
-
-            async def __aexit__(self, *exc):
-                gate.release()
-
-        return _Admission()
+        return _Admission(self.gate, log)
 
 
-def create_app(server, **kwargs) -> TopologyHttpApp:
+class _Admission:
+    """One admission slot, taken on ``__aenter__`` and released on exit;
+    the queue wait lands in the request log."""
+
+    __slots__ = ("_gate", "_log")
+
+    def __init__(self, gate: AdmissionGate, log: RequestLog) -> None:
+        self._gate = gate
+        self._log = log
+
+    async def __aenter__(self) -> "_Admission":
+        start = time.perf_counter()
+        await self._gate.acquire()
+        self._log.queue_seconds = time.perf_counter() - start
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        self._gate.release()
+
+
+def create_app(server: Any, **kwargs: Any) -> TopologyHttpApp:
     """Build the ASGI app over a built/restored ``TopologyServer``."""
     return TopologyHttpApp(server, **kwargs)

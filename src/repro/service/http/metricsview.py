@@ -68,7 +68,7 @@ def _latency_family(latency: Dict[str, Dict[str, Any]]) -> Family:
     return (name, "histogram", "Engine execution latency by method.", samples)
 
 
-def _shard_families(stats, server) -> List[Family]:
+def _shard_families(stats: Any, server: Any) -> List[Family]:
     """Per-shard routing/health gauges plus the merged worker-side
     observability sections (best-effort: a dead worker is ``up 0``)."""
     shards = getattr(stats, "shards", None)
@@ -167,7 +167,7 @@ def _shard_families(stats, server) -> List[Family]:
 
 
 def metrics_families(
-    server,
+    server: Any,
     http_section: Dict[str, Any],
     gate_stats: Dict[str, int],
     tracer_stats: Dict[str, Any],

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["AsgiHttpServer", "HttpServerThread", "serve_uvicorn"]
 
@@ -42,7 +42,7 @@ _REASONS = {
 class AsgiHttpServer:
     """Serve an ASGI 3 app over HTTP/1.1 on an asyncio event loop."""
 
-    def __init__(self, app, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, app: Any, host: str = "127.0.0.1", port: int = 0) -> None:
         self.app = app
         self.host = host
         self.port = port
@@ -64,7 +64,9 @@ class AsgiHttpServer:
             self._server = None
 
     # ------------------------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             while True:
                 request = await self._read_request(reader)
@@ -84,7 +86,9 @@ class AsgiHttpServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _read_request(self, reader):
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, str, List[Tuple[str, str]], bytes]]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError as error:
@@ -124,7 +128,14 @@ class AsgiHttpServer:
         return connection != "close"
 
     async def _dispatch(
-        self, writer, verb, target, version, headers, body, keep_alive
+        self,
+        writer: asyncio.StreamWriter,
+        verb: str,
+        target: str,
+        version: str,
+        headers: List[Tuple[str, str]],
+        body: bytes,
+        keep_alive: bool,
     ) -> None:
         path, _, query_string = target.partition("?")
         scope = {
@@ -191,7 +202,13 @@ class AsgiHttpServer:
         await self.app(scope, receive, send)
 
     @staticmethod
-    async def _write_head(writer, start, length, keep_alive, chunked) -> None:
+    async def _write_head(
+        writer: asyncio.StreamWriter,
+        start: Dict[str, Any],
+        length: Optional[int],
+        keep_alive: bool,
+        chunked: bool,
+    ) -> None:
         status = start["status"]
         reason = _REASONS.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {reason}".encode("latin-1")]
@@ -214,7 +231,7 @@ class HttpServerThread:
     The synchronous entry point tests and benchmarks need: enter the
     context manager, get the base URL, hit it with any HTTP client."""
 
-    def __init__(self, app, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, app: Any, host: str = "127.0.0.1", port: int = 0) -> None:
         self.server = AsgiHttpServer(app, host, port)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -247,11 +264,11 @@ class HttpServerThread:
     def __enter__(self) -> str:
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.stop()
 
 
-def serve_uvicorn(app, host: str = "127.0.0.1", port: int = 8000, **kwargs) -> None:
+def serve_uvicorn(app: Any, host: str = "127.0.0.1", port: int = 8000, **kwargs: Any) -> None:
     """Serve under uvicorn when it is installed (optional dependency —
     the library never imports it at module level)."""
     try:

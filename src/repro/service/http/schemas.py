@@ -423,7 +423,7 @@ def parse_rebuild_request(payload: Any) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
-def result_to_wire(result, include_work: bool = False) -> Dict[str, Any]:
+def result_to_wire(result: Any, include_work: bool = False) -> Dict[str, Any]:
     """:class:`MethodResult` -> JSON-native dict (the ``/query`` body)."""
     wire: Dict[str, Any] = {
         "method": result.method,
@@ -484,7 +484,7 @@ def _plan_cache_stats_to_wire(stats: PlanCacheStats) -> Dict[str, Any]:
     }
 
 
-def server_stats_to_wire(stats, latency: Dict[str, Dict[str, float]]) -> Dict[str, Any]:
+def server_stats_to_wire(stats: Any, latency: Dict[str, Dict[str, float]]) -> Dict[str, Any]:
     """One :class:`~repro.service.server.ServerStats` snapshot (plus the
     latency snapshots) -> the ``GET /stats`` body.
 

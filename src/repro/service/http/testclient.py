@@ -76,7 +76,7 @@ class TestClient:
 
     __test__ = False  # not a pytest test class, despite the name
 
-    def __init__(self, app, request_timeout: float = 60.0) -> None:
+    def __init__(self, app: Any, request_timeout: float = 60.0) -> None:
         self.app = app
         self.request_timeout = request_timeout
         self._loop = asyncio.new_event_loop()
@@ -99,7 +99,7 @@ class TestClient:
     def __enter__(self) -> "TestClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -124,16 +124,16 @@ class TestClient:
         )
         return future.result(timeout=self.request_timeout)
 
-    def get(self, path: str, **kwargs) -> Response:
+    def get(self, path: str, **kwargs: Any) -> Response:
         return self.request("GET", path, **kwargs)
 
-    def post(self, path: str, json: Any = None, **kwargs) -> Response:
+    def post(self, path: str, json: Any = None, **kwargs: Any) -> Response:
         return self.request("POST", path, json_body=json, **kwargs)
 
-    def put(self, path: str, **kwargs) -> Response:
+    def put(self, path: str, **kwargs: Any) -> Response:
         return self.request("PUT", path, **kwargs)
 
-    def delete(self, path: str, **kwargs) -> Response:
+    def delete(self, path: str, **kwargs: Any) -> Response:
         return self.request("DELETE", path, **kwargs)
 
     # ------------------------------------------------------------------

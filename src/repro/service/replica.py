@@ -138,7 +138,7 @@ class ReplicaPool:
 
     def __init__(
         self,
-        system,
+        system: Any,
         workers: int,
         start_method: Optional[str] = None,
         generation: Optional[int] = None,
@@ -209,7 +209,7 @@ class ReplicaPool:
     def __enter__(self) -> "ReplicaPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
 
@@ -314,7 +314,7 @@ class ShardCall:
 
     __slots__ = ("_backend", "_async_result", "_timeout")
 
-    def __init__(self, backend: "ShardBackend", async_result, timeout: float) -> None:
+    def __init__(self, backend: "ShardBackend", async_result: Any, timeout: float) -> None:
         self._backend = backend
         self._async_result = async_result
         self._timeout = timeout
@@ -416,5 +416,5 @@ class ShardBackend:
     def __enter__(self) -> "ShardBackend":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()

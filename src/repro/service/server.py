@@ -49,11 +49,22 @@ flight lock is held (flights are waited on *outside* it).
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.engine import BuildReport, TopologySearchSystem
 from repro.core.methods import MethodResult
@@ -69,6 +80,9 @@ from repro.service.facade import (
     LatencyStats,
     resolve_rebuild_config,
 )
+
+if TYPE_CHECKING:  # imported lazily at runtime (replica imports us back)
+    from repro.service.replica import ReplicaPool
 
 __all__ = ["ReadWriteLock", "ServerStats", "TopologyServer"]
 
@@ -120,7 +134,7 @@ class ReadWriteLock:
             self._cond.notify_all()
 
     @contextmanager
-    def read_locked(self):
+    def read_locked(self) -> Iterator[None]:
         self.acquire_read()
         try:
             yield
@@ -128,7 +142,7 @@ class ReadWriteLock:
             self.release_read()
 
     @contextmanager
-    def write_locked(self):
+    def write_locked(self) -> Iterator[None]:
         self.acquire_write()
         try:
             yield
@@ -257,7 +271,7 @@ class TopologyServer:
     @classmethod
     def from_snapshot(
         cls,
-        path,
+        path: str,
         cache_size: int = 4096,
         default_method: str = DEFAULT_METHOD,
         max_workers: Optional[int] = None,
@@ -290,7 +304,7 @@ class TopologyServer:
     def __enter__(self) -> "TopologyServer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     @property
@@ -368,6 +382,7 @@ class TopologyServer:
         self._record_latency(name, result.elapsed_seconds)
         if result.elapsed_seconds >= self.slow_query_log.threshold_seconds:
             self._slow_query(system, generation, name, query, result)
+        # relint: disable=R2 (single-flight protocol: register, execute unlocked, then settle — the result comes from the engine, not from lock-spanning reads)
         with self._flight_lock:
             self._cache.put(key, result)
             self._flights.pop(key, None)
@@ -488,21 +503,29 @@ class TopologyServer:
         followers = [index for group in groups for index in group[1:]]
         results: List[Optional[MethodResult]] = [None] * len(batch)
 
-        def run(index: int):
+        def run(index: int) -> Tuple[int, MethodResult]:
             return index, self.query(batch[index], method=name)
 
         # Two waves: leaders warm the plan cache (and the result cache
         # for exact duplicates), then the rest fan out as cache hits.
+        # Each submission carries its own copy of the caller's context:
+        # a Context can only be entered by one thread at a time, so the
+        # copy happens here, per task, not once for the whole wave.
         for wave in (leaders, followers):
             if not wave:
                 continue
+            submitted: List[Tuple[int, Any]] = []
             try:
-                for index, result in pool.map(run, wave):
-                    results[index] = result
-            except RuntimeError:  # pool shut down mid-batch (close()):
-                for index in wave:  # finish on the caller's thread
-                    if results[index] is None:
-                        results[index] = self.query(batch[index], method=name)
+                for index in wave:
+                    context = contextvars.copy_context()
+                    submitted.append((index, pool.submit(context.run, run, index)))
+            except RuntimeError:  # pool shut down mid-batch (close())
+                pass
+            for index, future in submitted:
+                results[index] = future.result()[1]
+            for index in wave:  # anything unsubmitted: caller's thread
+                if results[index] is None:
+                    results[index] = self.query(batch[index], method=name)
         return results  # type: ignore[return-value]  # every index was assigned
 
     def _thread_pool(self, workers: int) -> Optional[ThreadPoolExecutor]:
@@ -565,7 +588,9 @@ class TopologyServer:
             raise TopologyError(f"replica fan-out lost queries: {missing}")
         return results  # type: ignore[return-value]
 
-    def _current_replica_pool(self, workers: int):
+    def _current_replica_pool(
+        self, workers: int
+    ) -> Optional[Tuple["ReplicaPool", int]]:
         """The warm replica pool for (current generation, ``workers``),
         building one if needed, or ``None`` once closed.  Caller holds
         ``_replica_mutex``, so no consumer is mid-run on the pool being
@@ -619,6 +644,7 @@ class TopologyServer:
                 fresh.close()
             generation = current
             fresh = ReplicaPool(system, workers, generation=current)
+        # relint: disable=R2 (bounded retry loop: each pass re-reads everything under one acquisition and builds the pool unlocked; no value spans two acquisitions)
         with self._pool_lock:
             if self._closed:  # closed while we were building
                 fresh.close()
@@ -634,7 +660,7 @@ class TopologyServer:
     def rebuild(
         self,
         entity_pairs: Optional[Sequence[Tuple[str, str]]] = None,
-        **build_kwargs,
+        **build_kwargs: Any,
     ) -> BuildReport:
         """Re-run the offline phase *without* interrupting traffic.
 
@@ -662,7 +688,7 @@ class TopologyServer:
             self._rebuilds += 1
             return report
 
-    def restore(self, path) -> None:
+    def restore(self, path: str) -> None:
         """Hot-swap the serving system for one restored from a
         :mod:`repro.persist` snapshot (the "load yesterday's build"
         path).  Loading happens off the write lock; traffic continues
@@ -681,7 +707,7 @@ class TopologyServer:
             self._generation += 1
             self._cache.clear()
 
-    def save(self, path) -> None:
+    def save(self, path: str) -> None:
         """Snapshot the serving generation.
 
         The system reference is captured under a brief lease; the write

@@ -1,0 +1,17 @@
+"""R1 fixture: SQL assembled with raw value interpolation."""
+
+
+def fstring_hand_quoted(keyword):
+    return f"SELECT P.ID FROM Protein P WHERE CONTAINS(P.DESC, '{keyword}')"  # EXPECT: R1
+
+
+def concat(table):
+    return "SELECT * FROM " + table  # EXPECT: R1
+
+
+def percent(keyword):
+    return "SELECT ID FROM Protein WHERE DESC = '%s'" % keyword  # EXPECT: R1
+
+
+def str_format(keyword):
+    return "SELECT ID FROM Protein WHERE DESC = {}".format(keyword)  # EXPECT: R1

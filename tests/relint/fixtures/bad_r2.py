@@ -1,0 +1,17 @@
+"""R2 fixture: one returned snapshot assembled across two acquisitions."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def snapshot(self):
+        with self._lock:
+            count = self.count
+        with self._lock:  # EXPECT: R2
+            total = self.total
+        return count, total

@@ -1,0 +1,9 @@
+"""R3 fixture: truthiness on cache.get() conflates falsy hits with misses."""
+
+
+def lookup(cache, key):
+    if cache.get(key):  # EXPECT: R3
+        return True
+    value = cache.get(key) or 0  # EXPECT: R3
+    hit = cache.get(key) is None  # EXPECT: R3
+    return value, hit

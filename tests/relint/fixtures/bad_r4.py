@@ -1,0 +1,20 @@
+"""R4 fixture: executor submissions drop the ambient trace context."""
+
+from repro.obs import span
+
+
+class Batcher:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def run_all(self, tasks):
+        with span("batch.run"):
+            futures = [self._pool.submit(task) for task in tasks]  # EXPECT: R4
+        return [f.result() for f in futures]
+
+    def map_all(self, tasks):
+        return list(self._pool.map(run_one, tasks))  # EXPECT: R4
+
+
+def run_one(task):
+    return task()

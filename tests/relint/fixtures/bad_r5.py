@@ -1,0 +1,9 @@
+"""R5 fixture: wall-clock time used to measure durations."""
+
+import time
+
+
+def measure(work):
+    start = time.time()  # EXPECT: R5
+    work()
+    return time.time() - start  # EXPECT: R5

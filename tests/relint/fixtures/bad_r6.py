@@ -1,0 +1,19 @@
+"""R6 fixture: blocking work while holding a hot lock."""
+
+import subprocess
+import time
+
+
+class Store:
+    def __init__(self, lock):
+        self._lock = lock
+
+    def flush(self, path, rows):
+        with self._lock:
+            time.sleep(0.1)  # EXPECT: R6
+            with open(path, "w") as handle:  # EXPECT: R6
+                handle.write(str(rows))
+
+    def reindex(self):
+        with self._lock:
+            subprocess.run(["make", "index"])  # EXPECT: R6

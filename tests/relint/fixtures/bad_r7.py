@@ -1,0 +1,23 @@
+"""R7 fixture: nondeterminism in an offline build/merge path."""
+
+import glob
+import os
+import random
+
+
+def pick_seed_rows(rows):
+    return random.sample(rows, 3)  # EXPECT: R7
+
+
+def merge_order(path):
+    for name in os.listdir(path):  # EXPECT: R7
+        yield name
+    for name in glob.glob("*.shard"):  # EXPECT: R7
+        yield name
+
+
+def walk_classes(classes):
+    for item in {1, 2, 3}:  # EXPECT: R7
+        yield item
+    for item in set(classes):  # EXPECT: R7
+        yield item

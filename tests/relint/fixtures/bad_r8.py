@@ -1,0 +1,12 @@
+"""R8 fixture: dynamic or non-conforming metric and span names."""
+
+from repro.obs import span
+
+
+def record(registry, tracer, method):
+    registry.counter(f"queries.{method}", "Total queries.")  # EXPECT: R8
+    registry.gauge("Shard-Up", "Shard liveness.")  # EXPECT: R8
+    with span("server." + method):  # EXPECT: R8
+        pass
+    with tracer.span("Server.Query"):  # EXPECT: R8
+        pass

@@ -1,0 +1,18 @@
+"""R9 fixture: silently swallowed broad exceptions."""
+
+
+def scrape(calls):
+    sections = []
+    for call in calls:
+        try:
+            sections.append(call())
+        except Exception:  # EXPECT: R9
+            pass
+    return sections
+
+
+def ancient(fn):
+    try:
+        fn()
+    except:  # EXPECT: R9
+        pass

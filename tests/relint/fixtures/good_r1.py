@@ -1,0 +1,12 @@
+"""R1 fixture: values go through sql_quote(); identifiers may
+interpolate bare (they are not quoted values)."""
+
+from repro.relational.sql import sql_quote
+
+
+def quoted_value(keyword):
+    return f"SELECT P.ID FROM Protein P WHERE CONTAINS(P.DESC, {sql_quote(keyword)})"
+
+
+def identifier(table_name):
+    return f"SELECT T.TID FROM {table_name} T ORDER BY T.FREQ DESC"

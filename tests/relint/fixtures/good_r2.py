@@ -1,0 +1,21 @@
+"""R2 fixture: every returned composite reads under one acquisition;
+multiple acquisitions are fine when nothing is returned."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def snapshot(self):
+        with self._lock:
+            return self.count, self.total
+
+    def bump_twice(self):
+        with self._lock:
+            self.count += 1
+        with self._lock:
+            self.total += 1.0

@@ -1,0 +1,14 @@
+"""R3 fixture: the MISSING sentinel separates cached-falsy from absent."""
+
+MISSING = object()
+
+
+def lookup(cache, key):
+    value = cache.get(key, MISSING)
+    if value is MISSING:
+        return 0
+    return value
+
+
+def explicit_default(cache, key):
+    return cache.get(key, MISSING) is MISSING

@@ -1,0 +1,18 @@
+"""R4 fixture: each submission carries a copy of the caller's context."""
+
+import contextvars
+
+from repro.obs import span
+
+
+class Batcher:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def run_all(self, tasks):
+        with span("batch.run"):
+            futures = [
+                self._pool.submit(contextvars.copy_context().run, task)
+                for task in tasks
+            ]
+        return [f.result() for f in futures]

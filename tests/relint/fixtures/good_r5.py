@@ -1,0 +1,15 @@
+"""R5 fixture: durations come off the monotonic clock; time.time() is
+for wall-clock timestamps only."""
+
+import time
+
+
+def measure(work):
+    t0 = time.perf_counter()
+    work()
+    return time.perf_counter() - t0
+
+
+def stamp():
+    saved_at = time.time()
+    return saved_at

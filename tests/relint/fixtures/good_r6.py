@@ -1,0 +1,20 @@
+"""R6 fixture: snapshot under the lock, block outside it; heavy work
+belongs under a writer mutex, never a hot lock."""
+
+import subprocess
+
+
+class Store:
+    def __init__(self, lock):
+        self._lock = lock
+        self._writer_mutex = lock
+
+    def flush(self, path, rows):
+        with self._lock:
+            snapshot = list(rows)
+        with open(path, "w") as handle:
+            handle.write(str(snapshot))
+
+    def reindex(self):
+        with self._writer_mutex:
+            subprocess.run(["make", "index"])

@@ -1,0 +1,20 @@
+"""R7 fixture: explicit seeds and sorted iteration keep rebuilds
+bit-identical."""
+
+import os
+import random
+
+
+def pick_seed_rows(rows, seed):
+    rng = random.Random(seed)
+    return rng.sample(rows, 3)
+
+
+def merge_order(path):
+    for name in sorted(os.listdir(path)):
+        yield name
+
+
+def walk_classes(classes):
+    for item in sorted(set(classes)):
+        yield item

@@ -1,0 +1,11 @@
+"""R8 fixture: stable dotted-lowercase names; variation rides in tags."""
+
+from repro.obs import span
+
+
+def record(registry, tracer, method):
+    registry.counter("server.queries_total", "Total queries.")
+    with span("server.query", method=method):
+        pass
+    with tracer.span("server.query", route="/query"):
+        pass

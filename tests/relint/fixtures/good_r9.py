@@ -1,0 +1,23 @@
+"""R9 fixture: broad catches degrade loudly; narrow catches may pass."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def scrape(calls):
+    sections = []
+    for call in calls:
+        try:
+            sections.append({"up": True, "stats": call()})
+        except Exception as error:
+            log.warning("scrape failed: %s", error)
+            sections.append({"up": False, "error": str(error)})
+    return sections
+
+
+def narrow(fn):
+    try:
+        fn()
+    except ValueError:
+        pass

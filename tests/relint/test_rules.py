@@ -1,0 +1,67 @@
+"""Every rule is pinned by a paired fixture: the ``bad_*`` file must
+fire exactly on its ``# EXPECT: <ID>`` lines (no more, no fewer), and
+the ``good_*`` twin — the idiomatic rewrite of the same code — must be
+completely clean.  The pairs are the rule catalog's executable half:
+``docs/STATIC_ANALYSIS.md`` tells each rule's story, these files pin
+its reach."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from tools.relint.engine import lint_source
+from tools.relint.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXPECT_RE = re.compile(r"#\s*EXPECT:\s*(R\d+)")
+
+#: R7 is path-scoped to the offline build/merge packages, so its
+#: fixtures are linted as if they lived there.
+PATH_OVERRIDES = {"r7": "src/repro/parallel/fixture.py"}
+
+RULES = [rule.rule_id.lower() for rule in ALL_RULES]
+
+
+def expected_findings(source: str) -> set:
+    return {
+        (lineno, rule_id)
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        for rule_id in EXPECT_RE.findall(line)
+    }
+
+
+def test_the_corpus_is_complete():
+    """One bad and one good fixture per rule, no strays."""
+    names = {p.name for p in FIXTURES.glob("*.py")}
+    assert names == {f"bad_{r}.py" for r in RULES} | {f"good_{r}.py" for r in RULES}
+    assert (FIXTURES / ".relint-fixtures").exists()
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_bad_fixture_fires_exactly_where_marked(rule):
+    path = FIXTURES / f"bad_{rule}.py"
+    source = path.read_text()
+    expected = expected_findings(source)
+    assert expected, f"{path.name} declares no EXPECT markers"
+    found = {
+        (v.line, v.rule_id)
+        for v in lint_source(source, PATH_OVERRIDES.get(rule, str(path)))
+    }
+    assert found == expected
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_good_fixture_is_clean(rule):
+    path = FIXTURES / f"good_{rule}.py"
+    violations = lint_source(path.read_text(), PATH_OVERRIDES.get(rule, str(path)))
+    assert violations == []
+
+
+def test_rule_ids_are_stable_and_unique():
+    ids = [rule.rule_id for rule in ALL_RULES]
+    assert ids == [f"R{i}" for i in range(1, len(ids) + 1)]
+    assert len(ALL_RULES) >= 8
+    assert all(rule.name and rule.summary for rule in ALL_RULES)

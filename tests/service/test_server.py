@@ -17,6 +17,8 @@ from repro.core import (
 )
 from repro.core.plan import PlanAlternative, PlanCache, PlanClass, QueryPlan
 from repro.errors import TopologyError
+from repro.obs import span as obs_span
+from repro.obs import tracer as obs_tracer
 from repro.service import MISSING, LatencyStats, LRUCache, TopologyServer
 
 
@@ -64,7 +66,7 @@ class TestCacheSentinel:
     def test_miss_returns_the_default(self):
         cache = LRUCache(capacity=4)
         assert cache.get("absent", MISSING) is MISSING
-        assert cache.get("absent") is None  # plain default still works
+        assert cache.get("absent") is None  # relint: disable=R3 (asserting the documented None default itself)
         assert cache.stats().misses == 2
 
     def test_sentinel_is_falsy_and_unique(self):
@@ -459,6 +461,23 @@ class TestQueryMany:
                 assert after.hits - before.hits >= 1
         finally:
             tiny_system.calibration_enabled = True
+
+    def test_thread_batch_spans_join_the_callers_trace(self, server):
+        """Regression pin (relint R4's defect): the thread-pool workers
+        must run each batch slot inside a copy of the submitting
+        caller's context.  Before the fix the pool threads carried an
+        empty context, so every per-slot ``server.query`` ingress span
+        started its own orphan trace and a traced batch shattered into
+        unjoinable fragments."""
+        batch = self.workload()
+        with obs_span("test.batch", ingress=True) as root:
+            server.query_many(batch, parallel=4)
+        if not root.recording:
+            pytest.skip("tracing disabled in this environment")
+        spans = obs_tracer().trace_spans(root.trace_id)
+        query_spans = [s for s in spans if s.name == "server.query"]
+        assert len(query_spans) == len(batch)
+        assert all(s.parent_id == root.span_id for s in query_spans)
 
     def test_unknown_mode_rejected(self, server):
         with pytest.raises(TopologyError, match="mode"):

@@ -38,7 +38,7 @@ def mutable_system():
 class TestLRUCache:
     def test_put_get_and_counters(self):
         cache = LRUCache(capacity=2)
-        assert cache.get("a") is None
+        assert cache.get("a") is None  # relint: disable=R3 (asserting the documented None default for a fresh cache)
         cache.put("a", 1)
         assert cache.get("a") == 1
         stats = cache.stats()

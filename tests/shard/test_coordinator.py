@@ -187,6 +187,26 @@ class TestFailureModes:
         assert coord.stats().shards[1]["timeouts"] == 1
         # Teardown terminates the still-sleeping worker; no drain needed.
 
+    def test_wedged_shard_scrape_records_the_error(self, fresh_coordinator):
+        """Regression pin (relint R9's defect): ``shard_obs_sections``
+        used to swallow scrape failures with a silent broad except, so a
+        wedged worker was indistinguishable from a healthy-but-empty
+        one.  The scrape must still succeed, mark the shard down, and
+        say *why*."""
+        coord = fresh_coordinator
+        backend = coord._backends[1]
+        backend.submit("sleep", 5.0)  # occupies the one worker
+        backend.timeout = 0.2
+        sections = coord.shard_obs_sections()
+        assert [s["index"] for s in sections] == list(range(NUM_SHARDS))
+        wedged = sections[1]
+        assert wedged["up"] is False
+        assert "error" in wedged and wedged["error"]  # the cause, named
+        healthy = [s for i, s in enumerate(sections) if i != 1]
+        assert all(s["up"] is True for s in healthy)
+        assert all("error" not in s for s in healthy)
+        # Teardown terminates the still-sleeping worker; no drain needed.
+
     def test_batch_failure_counts_every_slot(self, fresh_coordinator):
         coord = fresh_coordinator
         coord._backends[0].close()

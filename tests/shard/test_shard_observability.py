@@ -95,6 +95,27 @@ class TestCrossProcessTrace:
 
 
 class TestShardMetrics:
+    def test_metrics_stay_readable_with_a_wedged_shard(self, traced_client):
+        """The scrape must degrade, not fail: with one worker wedged
+        (busy, missing the reply deadline) ``/metrics`` still answers
+        200 and reports that shard down — while queries that need the
+        wedged shard keep mapping to 503, not a hang."""
+        client, coordinator = traced_client
+        backend = coordinator._backends[1]
+        backend.submit("sleep", 5.0)  # occupies the one worker
+        backend.timeout = 0.2
+
+        response = client.get("/metrics")
+        assert response.status == 200
+        _, samples = parse_exposition(response.text)
+        up = {labels["shard"]: value for labels, value in samples["repro_shard_up"]}
+        assert up["1"] == 0
+        assert all(up[str(n)] == 1 for n in range(coordinator.num_shards) if n != 1)
+
+        query_response = client.post("/query", json=valid_query())
+        assert query_response.status == 503
+        assert query_response.json()["error"]["code"] == "shard_unavailable"
+
     def test_metrics_merge_worker_sections(self, traced_client):
         client, coordinator = traced_client
         client.post("/query", json=valid_query())

@@ -1,0 +1,3 @@
+"""Repository tooling: static analysis (:mod:`tools.relint`) and the
+mypy typed-surface gate (:mod:`tools.typegate`).  Nothing in here ships
+with the library — ``setup.py`` packages ``src/repro`` only."""

@@ -1,0 +1,32 @@
+"""relint — this repository's invariant linter.
+
+Every rule encodes a bug this codebase actually shipped (and fixed) or
+a concurrency/determinism contract its architecture depends on; the
+catalog with the history behind each rule lives in
+``docs/STATIC_ANALYSIS.md``.  Run it exactly like CI does::
+
+    python -m tools.relint src tests benchmarks examples
+
+Suppressions are inline, per-rule, and *must* carry a reason::
+
+    with self._pool_lock:  # relint: disable=R2 (retry loop, not a snapshot)
+
+A ``disable`` without a reason is itself a violation (R0).
+"""
+
+from tools.relint.engine import (
+    Violation,
+    lint_paths,
+    lint_source,
+    main,
+)
+from tools.relint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,8 @@
+"""``python -m tools.relint src tests benchmarks examples``."""
+
+import sys
+
+from tools.relint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

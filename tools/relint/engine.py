@@ -1,0 +1,322 @@
+"""The relint driver: file walking, suppression handling, reporting.
+
+The engine is rule-agnostic.  It parses each file once, hands the tree
+to every rule (:data:`tools.relint.rules.ALL_RULES`), then reconciles
+the raw findings against the file's inline suppressions:
+
+* ``# relint: disable=R2 (reason)`` on a line suppresses those rule ids
+  on that line; on a line of its own it suppresses them on the next
+  code line.
+* The parenthesised reason is mandatory — a bare ``disable`` is an
+  ``R0`` violation, because a suppression nobody can re-evaluate is how
+  tribal memory sneaks back in.
+* A suppression that never fires is also an ``R0`` violation: stale
+  suppressions hide future regressions at exactly the line someone once
+  decided not to look at.
+
+Directories containing a ``.relint-fixtures`` marker file are skipped
+(they hold the linter's own deliberately-violating test corpus); pass
+``--include-fixtures`` to lint them anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import os
+import re
+import sys
+import tokenize
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from tools.relint.rules import ALL_RULES, Rule
+
+__all__ = ["Violation", "lint_source", "lint_paths", "main"]
+
+FIXTURE_MARKER = ".relint-fixtures"
+
+SUPPRESSION_ID = "R0"
+SUPPRESSION_NAME = "suppression-hygiene"
+
+#: The full directive, matched against a COMMENT token's text.
+_SUPPRESS_RE = re.compile(
+    r"^#\s*relint:\s*disable=(?P<ids>[A-Z0-9, ]+?)\s*(?:\((?P<reason>[^)]*)\))?\s*$"
+)
+#: Anything that *starts* like the directive but fails the full match.
+_DIRECTIVE_PREFIX_RE = re.compile(r"^#\s*relint:")
+
+
+def _iter_comments(source: str) -> Iterable[Tuple[int, int, str]]:
+    """``(line, col, text)`` for every comment token.  Tokenizing (vs a
+    line scan) keeps directives inside string literals and docstrings
+    inert — only real comments can suppress."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+class Violation(NamedTuple):
+    """One finding, stable across output formats."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "message": self.message,
+        }
+
+
+class _Suppression(NamedTuple):
+    line: int            # line the suppression comment sits on
+    applies_to: Tuple[int, ...]  # code lines it covers
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+
+def _parse_suppressions(
+    source: str, known_ids: Set[str]
+) -> Tuple[List[_Suppression], List[Violation]]:
+    """All inline suppressions plus the R0 violations they earn.
+
+    A suppression on a code line covers that line; a suppression on a
+    comment-only line covers the next non-blank, non-comment line.
+    """
+    suppressions: List[_Suppression] = []
+    problems: List[Violation] = []
+    lines = source.splitlines()
+    for index, col, text in _iter_comments(source):
+        match = _SUPPRESS_RE.match(text)
+        if match is None:
+            if _DIRECTIVE_PREFIX_RE.match(text):
+                problems.append(
+                    Violation(
+                        "", index, col, SUPPRESSION_ID, SUPPRESSION_NAME,
+                        "malformed suppression: use "
+                        "'# relint: disable=<ID> (reason)'",
+                    )
+                )
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        bad = [i for i in ids if i not in known_ids or i == SUPPRESSION_ID]
+        if bad:
+            problems.append(
+                Violation(
+                    "", index, 0, SUPPRESSION_ID, SUPPRESSION_NAME,
+                    f"suppression names unknown or unsuppressable rule ids {bad}",
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Violation(
+                    "", index, 0, SUPPRESSION_ID, SUPPRESSION_NAME,
+                    f"suppression of {', '.join(ids)} has no reason — every "
+                    "disable must say why, in parentheses",
+                )
+            )
+            continue
+        standalone = not lines[index - 1][:col].strip()
+        if standalone:
+            target = None
+            for forward in range(index, len(lines)):
+                candidate = lines[forward].strip()
+                if candidate and not candidate.startswith("#"):
+                    target = forward + 1
+                    break
+            applies = (index, target) if target is not None else (index,)
+        else:
+            applies = (index,)
+        suppressions.append(_Suppression(index, applies, ids, reason))
+    return suppressions, problems
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns surviving violations (including
+    any R0 suppression-hygiene findings)."""
+    active_rules = list(ALL_RULES if rules is None else rules)
+    known_ids = {rule.rule_id for rule in ALL_RULES} | {SUPPRESSION_ID}
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path, error.lineno or 0, error.offset or 0,
+                SUPPRESSION_ID, "parse-error",
+                f"file does not parse: {error.msg}",
+            )
+        ]
+    suppressions, problems = _parse_suppressions(source, known_ids)
+    raw: List[Violation] = []
+    for rule in active_rules:
+        for finding in rule.check(tree, path, source):
+            raw.append(finding._replace(path=path))
+
+    covered: Dict[Tuple[int, str], _Suppression] = {}
+    for suppression in suppressions:
+        for line in suppression.applies_to:
+            for rule_id in suppression.rule_ids:
+                covered[(line, rule_id)] = suppression
+
+    used: Set[int] = set()
+    surviving: List[Violation] = []
+    for violation in raw:
+        suppression = covered.get((violation.line, violation.rule_id))
+        if suppression is not None:
+            used.add(suppression.line)
+        else:
+            surviving.append(violation)
+    active_ids = {rule.rule_id for rule in active_rules}
+    for suppression in suppressions:
+        if suppression.line not in used:
+            if not set(suppression.rule_ids) <= active_ids:
+                # A rule filter is active and this suppression names a
+                # rule that did not run — it may well fire on full runs.
+                continue
+            problems.append(
+                Violation(
+                    "", suppression.line, 0, SUPPRESSION_ID, SUPPRESSION_NAME,
+                    f"suppression of {', '.join(suppression.rule_ids)} never "
+                    "fires — remove it (stale suppressions hide regressions)",
+                )
+            )
+    surviving.extend(p._replace(path=path) for p in problems)
+    surviving.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return surviving
+
+
+def _iter_python_files(paths: Sequence[str], include_fixtures: bool) -> Iterable[str]:
+    for target in paths:
+        if os.path.isfile(target):
+            if target.endswith(".py"):
+                yield target
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git", ".mypy_cache")
+                and (
+                    include_fixtures
+                    or not os.path.exists(
+                        os.path.join(dirpath, d, FIXTURE_MARKER)
+                    )
+                )
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    include_fixtures: bool = False,
+) -> Tuple[List[Violation], int]:
+    """Lint every ``*.py`` under ``paths``.  Returns (violations,
+    files checked)."""
+    violations: List[Violation] = []
+    checked = 0
+    for path in _iter_python_files(paths, include_fixtures):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations.extend(lint_source(source, path, rules))
+        checked += 1
+    return violations, checked
+
+
+def _list_rules() -> str:
+    lines = [f"{SUPPRESSION_ID:<4} {SUPPRESSION_NAME:<24} suppression must carry a reason and must fire"]
+    for rule in ALL_RULES:
+        lines.append(f"{rule.rule_id:<4} {rule.name:<24} {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.relint",
+        description="Project-invariant static analysis for this repository.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--include-fixtures", action="store_true",
+        help="lint directories carrying a .relint-fixtures marker too",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.relint src tests benchmarks examples)")
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        # A typo'd path must not silently pass as "0 files, clean".
+        parser.error(f"no such path(s): {missing}")
+
+    rules: Optional[List[Rule]] = None
+    if args.rule:
+        wanted = set(args.rule)
+        known = {rule.rule_id for rule in ALL_RULES}
+        unknown = wanted - known
+        if unknown:
+            parser.error(f"unknown rule ids: {sorted(unknown)} (known: {sorted(known)})")
+        rules = [rule for rule in ALL_RULES if rule.rule_id in wanted]
+
+    violations, checked = lint_paths(
+        args.paths, rules=rules, include_fixtures=args.include_fixtures
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files_checked": checked,
+                    "violations": [v.to_wire() for v in violations],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in sorted(violations, key=lambda v: (v.path, v.line, v.col)):
+            print(violation.render())
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"relint: {checked} file(s) checked, {status}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""The typed-surface gate: ``python -m tools.typegate``.
+
+Policy, in one paragraph: ``repro.obs`` and ``repro.service`` are the
+*typed surfaces* — the packages other layers program against — and must
+be mypy-clean, full stop.  The rest of ``src/repro`` is held to a
+committed per-package error ceiling (:data:`BASELINE_PATH`) so typing
+debt can only shrink: going over a ceiling fails the gate, coming in
+under it prints a ratchet suggestion (run with ``--update-baseline`` to
+lock in the improvement).
+
+mypy is deliberately **not** a runtime dependency of this repository;
+the container images that run the tier-1 suite do not carry it.  When
+mypy is absent the gate reports ``SKIP`` and exits 0 — CI installs mypy
+in its own job (see ``.github/workflows/ci.yml``) and enforces for
+everyone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "mypy_baseline.json")
+CONFIG_PATH = os.path.join(REPO_ROOT, "mypy.ini")
+TARGET = os.path.join("src", "repro")
+
+#: Packages whose public surface must be completely clean.
+STRICT_PACKAGES = ("obs", "service")
+
+_ERROR_RE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error: ")
+
+
+def _mypy_command() -> Optional[List[str]]:
+    """The mypy invocation to use, or ``None`` if mypy is unavailable."""
+    if shutil.which("mypy"):
+        return ["mypy"]
+    try:  # an importable module without a console script still counts
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    return [sys.executable, "-m", "mypy"]
+
+
+def _package_of(path: str) -> str:
+    """``src/repro/service/http/app.py`` → ``service``; top-level
+    modules (``errors.py``) map to ``<root>``."""
+    normalized = path.replace("\\", "/")
+    marker = "src/repro/"
+    at = normalized.find(marker)
+    if at < 0:
+        return "<other>"
+    rest = normalized[at + len(marker):]
+    if "/" not in rest:
+        return "<root>"
+    return rest.split("/", 1)[0]
+
+
+def run_mypy() -> Tuple[Optional[Dict[str, int]], List[str]]:
+    """Per-package error counts from one mypy run over ``src/repro``,
+    plus the raw error lines.  ``(None, [])`` when mypy is absent."""
+    command = _mypy_command()
+    if command is None:
+        return None, []
+    completed = subprocess.run(
+        command + ["--config-file", CONFIG_PATH, TARGET],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    counts: Dict[str, int] = {}
+    errors: List[str] = []
+    for line in completed.stdout.splitlines():
+        match = _ERROR_RE.match(line.strip())
+        if match is None:
+            continue
+        errors.append(line.strip())
+        package = _package_of(match.group("path"))
+        counts[package] = counts.get(package, 0) + 1
+    return counts, errors
+
+
+def load_baseline() -> Dict[str, int]:
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {str(key): int(value) for key, value in data["ceilings"].items()}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.typegate",
+        description="mypy gate: strict typed surfaces + baseline ceilings.",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed ceilings to the current counts",
+    )
+    parser.add_argument(
+        "--show-errors", action="store_true",
+        help="print every mypy error line, not just the summary",
+    )
+    args = parser.parse_args(argv)
+
+    counts, errors = run_mypy()
+    if counts is None:
+        print(
+            "typegate: SKIP — mypy is not installed in this environment; "
+            "CI runs this gate with mypy available."
+        )
+        return 0
+
+    baseline = load_baseline()
+    failures: List[str] = []
+    ratchets: List[str] = []
+
+    for package in STRICT_PACKAGES:
+        strict_errors = counts.get(package, 0)
+        if strict_errors:
+            failures.append(
+                f"repro.{package} is a typed surface and must be clean; "
+                f"mypy reports {strict_errors} error(s)"
+            )
+
+    for package, count in sorted(counts.items()):
+        if package in STRICT_PACKAGES:
+            continue
+        ceiling = baseline.get(package)
+        if ceiling is None:
+            failures.append(
+                f"package {package!r} has {count} error(s) but no committed "
+                f"ceiling — add it to {os.path.relpath(BASELINE_PATH, REPO_ROOT)}"
+            )
+        elif count > ceiling:
+            failures.append(
+                f"package {package!r}: {count} error(s) exceeds the "
+                f"committed ceiling of {ceiling} — new typing debt is not "
+                "accepted; fix the new errors"
+            )
+        elif count < ceiling:
+            ratchets.append(
+                f"package {package!r}: {count} < ceiling {ceiling} — run "
+                "'python -m tools.typegate --update-baseline' to lock it in"
+            )
+
+    if args.update_baseline:
+        ceilings = {
+            package: count
+            for package, count in sorted(counts.items())
+            if package not in STRICT_PACKAGES and count
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "comment": (
+                        "Per-package mypy error ceilings for src/repro "
+                        "outside the strict zone (repro.obs, repro.service). "
+                        "Counts may only go down; regenerate with "
+                        "python -m tools.typegate --update-baseline."
+                    ),
+                    "ceilings": ceilings,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"typegate: baseline rewritten ({len(ceilings)} package(s))")
+        return 0
+
+    if args.show_errors or failures:
+        for line in errors:
+            print(line)
+    total = sum(counts.values())
+    print(
+        f"typegate: {total} error(s) across {len(counts)} package(s); "
+        f"strict zone ({', '.join('repro.' + p for p in STRICT_PACKAGES)}): "
+        f"{sum(counts.get(p, 0) for p in STRICT_PACKAGES)}"
+    )
+    for note in ratchets:
+        print(f"typegate: ratchet available — {note}")
+    for failure in failures:
+        print(f"typegate: FAIL — {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
